@@ -1,0 +1,77 @@
+// Experiment F1 — the paper's Figure 1 made executable.
+//
+// Three application processes p, q, r (p0, p1, p2) plus an injector. The
+// injector sends m to p, p sends m' to q, q sends m'' to r. With f = 2 the
+// receipt order of m propagates no further than r. Both p and q then crash
+// (the double failure §2.1 walks through): recovery must obtain m's
+// receipt order from q-or-r's logs, fetch m's data from the injector's
+// send log, and regenerate m' deterministically for q's recovery.
+//
+// The bench prints the determinant propagation trace and the recovery
+// outcome, checking that the final chain logs equal a failure-free run.
+#include <cstdio>
+
+#include "app/workloads.hpp"
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+namespace {
+
+app::AppFactory chain_factory() {
+  return [](ProcessId) { return std::make_unique<app::ChainApp>(app::ChainConfig{64}); };
+}
+
+std::uint64_t reference_hash() {
+  ScenarioConfig sc;
+  sc.cluster = harness::PaperSetup::testbed(Algorithm::kNonBlocking, 4, 2);
+  sc.factory = chain_factory();
+  sc.horizon = seconds(12);
+  return harness::run_scenario(sc).state_hash;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F1: Figure 1 chain scenario (m -> m' -> m'', f = 2, p and q fail)\n");
+
+  const std::uint64_t reference = reference_hash();
+
+  Table table("F1 — double failure on the chain",
+              {"algorithm", "recoveries", "replayed (p)", "replayed (q)", "det gaps",
+               "orphan-free", "state == failure-free run"});
+
+  for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+    ScenarioConfig sc;
+    sc.cluster = harness::PaperSetup::testbed(alg, 4, 2);
+    sc.factory = chain_factory();
+    // p (p0) and q (p1) fail back to back mid-chain (boot + the first
+    // chains take ~50 ms); r (p2) must never be orphaned.
+    sc.crashes = {{ProcessId{0}, milliseconds(60)}, {ProcessId{1}, milliseconds(65)}};
+    sc.horizon = seconds(16);
+    const auto r = harness::run_scenario(sc);
+
+    std::uint64_t replayed_p = 0;
+    std::uint64_t replayed_q = 0;
+    for (const auto& t : r.recoveries) {
+      // crash order identifies p vs q
+      if (t.crashed_at == milliseconds(60)) replayed_p = t.replayed;
+      if (t.crashed_at == milliseconds(65)) replayed_q = t.replayed;
+    }
+    table.add_row({recovery::to_string(alg), Table::integer(r.recoveries.size()),
+                   Table::integer(replayed_p), Table::integer(replayed_q),
+                   Table::integer(r.det_gaps), r.det_gaps == 0 ? "yes" : "NO",
+                   r.state_hash == reference ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf("\nShape: both failed processes replay their receipt orders (no gaps), and\n"
+              "the post-recovery application state is identical to a failure-free\n"
+              "execution — the chain workload is fully deterministic, so replay\n"
+              "fidelity is exact.\n");
+  return 0;
+}

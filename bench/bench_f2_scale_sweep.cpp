@@ -1,0 +1,53 @@
+// Experiment F2 (ablation) — intrusion vs system size.
+//
+// The paper argues the blocking algorithm's damage grows with the system:
+// every live process stalls, so the aggregate lost compute scales with n
+// while the new algorithm stays at zero. This sweep runs the single-failure
+// scenario at n = 4..32 under both algorithms.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main() {
+  std::printf("F2: single-failure intrusion and recovery latency vs system size\n");
+
+  Table table("F2 — scale sweep (one crash, f = 2)",
+              {"n", "algorithm", "recovery total", "replayed", "live blocked (mean)",
+               "aggregate blocked", "ctrl msgs", "ctrl KiB"});
+
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+      ScenarioConfig sc;
+      sc.cluster = PaperSetup::testbed(alg, n);
+      sc.factory = PaperSetup::workload();
+      sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
+      sc.horizon = PaperSetup::kHorizon;
+      const auto r = harness::run_scenario(sc);
+      if (r.recoveries.size() != 1) {
+        std::fprintf(stderr, "n=%u: unexpected recovery count %zu\n", n, r.recoveries.size());
+        return 1;
+      }
+      table.add_row({Table::integer(n), recovery::to_string(alg),
+                     Table::secs(r.recoveries[0].total()),
+                     Table::integer(r.recoveries[0].replayed),
+                     Table::ms(r.mean_live_blocked(sc.crashes)), Table::ms(r.total_blocked()),
+                     Table::integer(r.ctrl_msgs),
+                     Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1)});
+    }
+  }
+  table.print();
+
+  std::printf("\nShape: under the blocking algorithm every one of the n-1 survivors\n"
+              "stalls (aggregate = (n-1) x per-process stall, with the per-process\n"
+              "stall tracking the crashed process's replay backlog); the new algorithm\n"
+              "keeps all of them at zero. Control messages grow linearly with n yet\n"
+              "stay a trivial share of recovery time — the paper's point.\n");
+  return 0;
+}

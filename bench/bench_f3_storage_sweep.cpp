@@ -1,0 +1,51 @@
+// Experiment F3 (ablation) — the paper's thesis knob: stable storage speed.
+//
+// "The advances in network and processor technologies and the relative
+// increase in the penalty of accessing stable storage are at odds with many
+// premises" (§1). This sweep varies stable-storage bandwidth and shows that
+// recovery latency tracks the restore term while the communication cost of
+// recovery stays flat — storage, not messages, is the bottleneck.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main() {
+  std::printf("F3: recovery latency vs stable-storage bandwidth (non-blocking algorithm)\n");
+
+  Table table("F3 — storage bandwidth sweep (one crash, n = 8, ~1 MB image)",
+              {"storage MB/s", "restore", "gather", "replay", "recovery total",
+               "storage share", "ctrl msgs"});
+
+  for (const double mbps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    ScenarioConfig sc;
+    sc.cluster = PaperSetup::testbed(Algorithm::kNonBlocking);
+    sc.cluster.storage.bytes_per_second = mbps * 1024 * 1024;
+    sc.factory = PaperSetup::workload();
+    sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
+    sc.horizon = PaperSetup::kHorizon;
+    const auto r = harness::run_scenario(sc);
+    if (r.recoveries.size() != 1) {
+      std::fprintf(stderr, "unexpected recovery count\n");
+      return 1;
+    }
+    const auto& t = r.recoveries[0];
+    const double share =
+        100.0 * static_cast<double>(t.restore()) / static_cast<double>(t.total() - t.detect());
+    table.add_row({Table::num(mbps, 1), Table::ms(t.restore(), 0), Table::ms(t.gather()),
+                   Table::ms(t.replay(), 0), Table::secs(t.total()),
+                   Table::num(share, 1) + " %", Table::integer(r.ctrl_msgs)});
+  }
+  table.print();
+
+  std::printf("\nShape: post-detection recovery time is dominated by the checkpoint\n"
+              "restore at low bandwidth and shrinks proportionally as storage gets\n"
+              "faster; gather (communication) cost is flat and small throughout.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment F6 (ablation) — process image size.
+//
+// §2.2: "depending on the size of process q, restoring its state may take
+// tens of seconds or a few minutes." This sweep scales the checkpointed
+// image from 256 KB to 8 MB and shows restore time — and, under the
+// blocking algorithm in a double-failure scenario, the live processes'
+// stall — growing with it, while the communication cost stays flat.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main() {
+  std::printf("F6: recovery cost vs process image size (double failure, n = 8)\n");
+
+  Table table("F6 — state size sweep",
+              {"image", "algorithm", "restore (p2)", "p1 total", "live blocked (mean)",
+               "ctrl msgs"});
+
+  for (const std::size_t kib : {256ul, 1024ul, 4096ul, 8192ul}) {
+    for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+      ScenarioConfig sc;
+      sc.cluster = PaperSetup::testbed(alg);
+      sc.factory = PaperSetup::workload(kib * 1024);
+      sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash},
+                    {ProcessId{2}, PaperSetup::kSecondCrash}};
+      sc.horizon = seconds(30);
+      const auto r = harness::run_scenario(sc);
+      if (r.recoveries.size() != 2) {
+        std::fprintf(stderr, "unexpected recovery count %zu\n", r.recoveries.size());
+        return 1;
+      }
+      const bool first_is_p1 = r.recoveries[0].crashed_at < r.recoveries[1].crashed_at;
+      const auto& p1 = first_is_p1 ? r.recoveries[0] : r.recoveries[1];
+      const auto& p2 = first_is_p1 ? r.recoveries[1] : r.recoveries[0];
+      table.add_row({std::to_string(kib) + " KiB", recovery::to_string(alg),
+                     Table::ms(p2.restore(), 0), Table::secs(p1.total()),
+                     Table::ms(r.mean_live_blocked(sc.crashes)), Table::integer(r.ctrl_msgs)});
+    }
+  }
+  table.print();
+
+  std::printf("\nShape: restore time scales with image size; under the blocking\n"
+              "algorithm the survivors' stall grows right along with it (they wait\n"
+              "out the second restore), while the new algorithm keeps them at zero.\n");
+  return 0;
+}

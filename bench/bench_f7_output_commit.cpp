@@ -1,0 +1,62 @@
+// Experiment F7 (extension) — output-commit latency across the FBL family.
+//
+// Releasing external output requires the producing state to be recoverable
+// first (Manetho's "fast output commit"). The cost depends on the FBL
+// instance: f < n stabilizes by pushing determinants to f+1 volatile
+// holders (network round-trips), f = n by flushing them to stable storage
+// (seek + transfer). This sweep measures commit-to-release latency under
+// steady traffic for f ∈ {1, 2, 4, n} on the paper testbed — quantifying
+// the trade the paper's §1 narrative sketches: volatile replication rides
+// the fast network, stable storage pays the slow disk.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::Table;
+
+int main() {
+  std::printf("F7: output-commit latency vs tolerated failures f (n = 8)\n");
+
+  Table table("F7 — output commit across FBL instances",
+              {"f", "outputs", "mean latency", "max latency", "det pushes", "flushes",
+               "stabilization path"});
+
+  for (const std::uint32_t f : {1u, 2u, 4u, 8u}) {
+    auto cfg = PaperSetup::testbed(recovery::Algorithm::kNonBlocking, 8, f);
+    runtime::Cluster cluster(cfg, PaperSetup::workload(0));
+    cluster.start();
+    cluster.run_until(seconds(2));
+
+    // One output per process every 100 ms of virtual time for 2 seconds.
+    for (int round = 0; round < 20; ++round) {
+      for (const ProcessId pid : cluster.pids()) {
+        BufWriter w;
+        w.u64(static_cast<std::uint64_t>(round));
+        cluster.node(pid).commit_output(std::move(w).take());
+      }
+      cluster.run_for(milliseconds(100));
+    }
+    cluster.run_for(seconds(2));  // drain
+
+    const auto& m = cluster.metrics();
+    const auto* lat = m.find_accum("output.latency_ns");
+    table.add_row(
+        {Table::integer(f), Table::integer(m.counter_value("output.released")),
+         lat ? Table::ms(static_cast<Duration>(lat->mean()), 2) : "-",
+         lat ? Table::ms(static_cast<Duration>(lat->max()), 2) : "-",
+         Table::integer(m.counter_value("output.det_pushes")),
+         Table::integer(m.counter_value("fbl.dets_flushed")),
+         f >= 8 ? "stable-storage flush" : "peer replication"});
+  }
+  table.print();
+
+  std::printf("\nShape: commit latency for f < n is a network round-trip (sub-ms on the\n"
+              "ATM testbed) and rises gently with f (more copies to confirm); the\n"
+              "f = n instance pays the stable-storage flush — orders of magnitude\n"
+              "more — which is the same storage-vs-network asymmetry the paper's\n"
+              "recovery argument turns on.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment F8 (extension) — general vs specialized consistent snapshots.
+//
+// The paper frames the recovery leader's gather as assembling "a consistent
+// snapshot of the message receipt order information" (§3.1). This bench
+// compares the two consistent-snapshot machines living in this repository:
+//
+//   * Chandy-Lamport (reference [6]): markers on every channel, full
+//     channel-state capture, O(n^2) messages;
+//   * the recovery gather: one leader round-trip per live process plus the
+//     incvector trick instead of channel flushing, O(n) messages.
+//
+// Both run on the calibrated testbed under steady traffic at several n.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::Table;
+
+int main() {
+  std::printf("F8: Chandy-Lamport snapshot vs the recovery leader's depinfo gather\n");
+
+  Table table("F8 — consistent-snapshot costs",
+              {"n", "CL msgs", "CL latency", "CL consistent", "in-flight captured",
+               "gather msgs (clean)", "gather latency"});
+
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    // --- Chandy-Lamport under steady traffic --------------------------
+    auto cfg = PaperSetup::testbed(recovery::Algorithm::kNonBlocking, n);
+    runtime::Cluster cluster(cfg, PaperSetup::workload(0));
+    cluster.start();
+    cluster.run_until(seconds(2));
+
+    const auto frames_before = cluster.metrics().counter_value("snapshot.frames");
+    const Time started = cluster.sim().now();
+    cluster.node(0u).start_snapshot(1);
+    std::optional<snapshot::GlobalSnapshot> snap;
+    while (!snap && cluster.sim().now() < started + seconds(2)) {
+      cluster.run_for(milliseconds(1));
+      snap = cluster.node(0u).take_completed_snapshot();
+    }
+    const Duration cl_latency = cluster.sim().now() - started;
+    const auto cl_msgs = cluster.metrics().counter_value("snapshot.frames") - frames_before;
+
+    // --- the recovery gather, clean single failure ----------------------
+    harness::ScenarioConfig sc;
+    sc.cluster = PaperSetup::testbed(recovery::Algorithm::kNonBlocking, n);
+    sc.factory = PaperSetup::workload();
+    sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
+    sc.horizon = PaperSetup::kHorizon;
+    const auto r = harness::run_scenario(sc);
+    const auto gather_msgs = r.counter("recovery.msg.dep_request") +
+                             r.counter("recovery.msg.dep_reply") +
+                             r.counter("recovery.msg.rset_request") +
+                             r.counter("recovery.msg.rset_reply");
+
+    table.add_row({Table::integer(n), Table::integer(cl_msgs), Table::ms(cl_latency),
+                   snap && snap->consistent() ? "yes" : "NO",
+                   snap ? Table::integer(snap->in_flight()) : "-",
+                   Table::integer(gather_msgs),
+                   Table::ms(r.recoveries.at(0).gather())});
+  }
+  table.print();
+
+  std::printf("\nShape: Chandy-Lamport pays n(n-1) markers plus reports and must drain\n"
+              "every channel; the gather pays ~2n messages and sidesteps channel\n"
+              "capture entirely with the incvector floor — the specialization is what\n"
+              "keeps the paper's recovery communication negligible.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// M1 — serialization kernel microbenchmarks (google-benchmark).
+//
+// Every wire frame and checkpoint flows through BufWriter/BufReader; these
+// benchmarks size the codec costs that the simulation charges implicitly.
+#include <benchmark/benchmark.h>
+
+#include "fbl/checkpoint.hpp"
+#include "fbl/frame.hpp"
+#include "recovery/messages.hpp"
+
+namespace {
+
+using namespace rr;
+
+void BM_AppFrameEncode(benchmark::State& state) {
+  fbl::AppFrame frame;
+  frame.inc = 3;
+  frame.ssn = 12345;
+  for (int i = 0; i < state.range(0); ++i) {
+    frame.dets.push_back(fbl::HeldDeterminant{
+        fbl::Determinant{ProcessId{1}, static_cast<Ssn>(i), ProcessId{2},
+                         static_cast<Rsn>(i)},
+        0x7});
+  }
+  frame.payload = Bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.encode());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppFrameEncode)->Arg(0)->Arg(8)->Arg(64);
+
+void BM_AppFrameDecode(benchmark::State& state) {
+  fbl::AppFrame frame;
+  frame.inc = 3;
+  frame.ssn = 12345;
+  for (int i = 0; i < state.range(0); ++i) {
+    frame.dets.push_back(fbl::HeldDeterminant{
+        fbl::Determinant{ProcessId{1}, static_cast<Ssn>(i), ProcessId{2},
+                         static_cast<Rsn>(i)},
+        0x7});
+  }
+  frame.payload = Bytes(256);
+  const Bytes wire = frame.encode();
+  for (auto _ : state) {
+    BufReader r(wire);
+    (void)fbl::decode_kind(r);
+    benchmark::DoNotOptimize(fbl::AppFrame::decode(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppFrameDecode)->Arg(0)->Arg(8)->Arg(64);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  fbl::Checkpoint cp;
+  cp.app_started = true;
+  cp.rsn = 1000;
+  cp.app_state = Bytes(static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < 512; ++i) {
+    cp.det_log.record(fbl::HeldDeterminant{
+        fbl::Determinant{ProcessId{1}, static_cast<Ssn>(i + 1), ProcessId{0},
+                         static_cast<Rsn>(i + 1)},
+        0x3});
+    cp.send_log.record(ProcessId{2}, static_cast<Ssn>(i + 1), Bytes(128));
+  }
+  for (auto _ : state) {
+    const Bytes blob = cp.encode();
+    benchmark::DoNotOptimize(fbl::Checkpoint::decode(blob));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(cp.encode().size()));
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ControlMessageRoundTrip(benchmark::State& state) {
+  recovery::DepReply reply;
+  reply.round = 7;
+  for (int i = 0; i < state.range(0); ++i) {
+    reply.dets.push_back(fbl::HeldDeterminant{
+        fbl::Determinant{ProcessId{1}, static_cast<Ssn>(i), ProcessId{2},
+                         static_cast<Rsn>(i)},
+        0xF});
+  }
+  reply.marks_for_r[ProcessId{2}] = 55;
+  const recovery::ControlMessage m = reply;
+  for (auto _ : state) {
+    const Bytes wire = recovery::encode_control(m);
+    BufReader r(wire);
+    (void)r.u8();  // frame kind
+    benchmark::DoNotOptimize(recovery::decode_control(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControlMessageRoundTrip)->Arg(16)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// M2 — simulation-kernel microbenchmarks (google-benchmark).
+//
+// Event throughput bounds how much virtual time the experiment harness can
+// cover per wall-clock second; these benchmarks keep the kernel honest.
+#include <benchmark/benchmark.h>
+
+#include "fbl/determinant_log.hpp"
+#include "fbl/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rr;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_after(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1024)->Arg(65536);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    const int n = static_cast<int>(state.range(0));
+    ids.reserve(n);
+    for (int i = 0; i < n; ++i) ids.push_back(sim.schedule_after(i + 1, [] {}));
+    for (int i = 0; i < n; i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CancelHeavy)->Arg(65536);
+
+void BM_EnginePerMessage(benchmark::State& state) {
+  // One sender/receiver pair exchanging messages with full logging: the
+  // per-message protocol cost outside the simulator.
+  fbl::LoggingEngine tx(fbl::EngineConfig{ProcessId{0}, 8, 2});
+  fbl::LoggingEngine rx(fbl::EngineConfig{ProcessId{1}, 8, 2});
+  const fbl::IncVector incs;
+  Bytes payload(128);
+  for (auto _ : state) {
+    auto out = tx.make_frame(ProcessId{1}, payload, 1);
+    BufReader r(out.frame);
+    (void)fbl::decode_kind(r);
+    const auto frame = fbl::AppFrame::decode(r);
+    benchmark::DoNotOptimize(rx.accept(ProcessId{0}, frame, incs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePerMessage);
+
+void BM_PiggybackSelection(benchmark::State& state) {
+  fbl::DeterminantLog log;
+  log.set_propagation_threshold(3);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    log.record(fbl::HeldDeterminant{
+        fbl::Determinant{ProcessId{2}, static_cast<Ssn>(i + 1), ProcessId{0},
+                         static_cast<Rsn>(i + 1)},
+        fbl::holder_bit(ProcessId{0})});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.piggyback_for(ProcessId{3}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiggybackSelection)->Arg(16)->Arg(4096);
+
+}  // namespace

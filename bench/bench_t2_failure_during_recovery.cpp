@@ -1,0 +1,70 @@
+// Experiment T2 (paper §5, second experiment).
+//
+// A second process fails while the first is still recovering. The paper
+// reports ~5 s to recover under both algorithms — dominated by failure
+// detection and restoring the second process's state — with the blocking
+// algorithm stalling every live process for that same stretch, while the
+// new algorithm's extra second-phase communication costs only
+// milliseconds.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main() {
+  std::printf("T2: failure during recovery on the 8-node testbed (paper §5, experiment 2)\n");
+
+  Table table("T2 — second failure during recovery",
+              {"algorithm", "p1 total", "p2 total", "detect+restore share", "gather restarts",
+               "live blocked (mean)", "ctrl msgs", "ctrl KiB", "extra gather cost"});
+
+  for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+    ScenarioConfig sc;
+    sc.cluster = PaperSetup::testbed(alg);
+    sc.factory = PaperSetup::workload();
+    sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash},
+                  {ProcessId{2}, PaperSetup::kSecondCrash}};
+    sc.horizon = PaperSetup::kHorizon;
+    const auto r = harness::run_scenario(sc);
+    if (r.recoveries.size() != 2) {
+      std::fprintf(stderr, "unexpected recovery count %zu\n", r.recoveries.size());
+      return 1;
+    }
+    // Recoveries are sorted by completion; identify by pid-independent
+    // crash order instead (p1 crashed first).
+    const auto& a = r.recoveries[0].crashed_at < r.recoveries[1].crashed_at ? r.recoveries[0]
+                                                                            : r.recoveries[1];
+    const auto& b = r.recoveries[0].crashed_at < r.recoveries[1].crashed_at ? r.recoveries[1]
+                                                                            : r.recoveries[0];
+    // The first recovery's gather phase absorbs the wait for the second
+    // failure's detection and restore; the second recovery's gather is the
+    // pure communication cost of the (re-run) phases.
+    const Duration mechanical = a.detect() + a.restore() + b.detect() + b.restore();
+    const Duration total_both = a.total() + b.total();
+
+    table.add_row(
+        {recovery::to_string(alg), Table::secs(a.total()), Table::secs(b.total()),
+         Table::num(100.0 * static_cast<double>(mechanical + a.gather()) /
+                        static_cast<double>(total_both),
+                    1) +
+             " %",
+         Table::integer(r.gather_restarts),
+         Table::ms(r.mean_live_blocked({{ProcessId{1}, 0}, {ProcessId{2}, 0}})),
+         Table::integer(r.ctrl_msgs),
+         Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1),
+         Table::ms(b.gather())});
+  }
+  table.print();
+
+  std::printf("\nPaper-reported shape: ~5 s for both recovering processes under either\n"
+              "algorithm, dominated by failure detection + state restore; the blocking\n"
+              "algorithm stalls live processes for that entire stretch; the new\n"
+              "algorithm's additional communication is negligible next to it.\n");
+  return 0;
+}

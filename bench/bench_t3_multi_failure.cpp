@@ -1,0 +1,52 @@
+// Experiment T3 (ablation) — k simultaneous failures, k <= f.
+//
+// FBL with f = 4 on 8 nodes; crash k processes within a few milliseconds
+// of each other. One leader (lowest ord) recovers the whole batch in a
+// single round: the table reports batch recovery latency, gather restarts
+// and the blocked time of the surviving processes under both algorithms.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main() {
+  std::printf("T3: k simultaneous failures (n = 8, f = 4)\n");
+
+  Table table("T3 — simultaneous failures",
+              {"k", "algorithm", "all recovered", "last completion", "rounds",
+               "gather restarts", "det gaps", "live blocked (mean)", "ctrl msgs"});
+
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+      ScenarioConfig sc;
+      sc.cluster = PaperSetup::testbed(alg, 8, 4);
+      sc.factory = PaperSetup::workload();
+      for (std::uint32_t i = 0; i < k; ++i) {
+        sc.crashes.push_back(
+            {ProcessId{1 + i}, PaperSetup::kFirstCrash + milliseconds(3 * i)});
+      }
+      sc.horizon = PaperSetup::kHorizon;
+      const auto r = harness::run_scenario(sc);
+
+      Duration last = 0;
+      for (const auto& t : r.recoveries) last = std::max(last, t.completed_at);
+      table.add_row({Table::integer(k), recovery::to_string(alg),
+                     r.recoveries.size() == k ? "yes" : "NO",
+                     Table::secs(last - PaperSetup::kFirstCrash), Table::integer(r.rounds),
+                     Table::integer(r.gather_restarts), Table::integer(r.det_gaps),
+                     Table::ms(r.mean_live_blocked(sc.crashes)), Table::integer(r.ctrl_msgs)});
+    }
+  }
+  table.print();
+
+  std::printf("\nShape: one leader recovers the batch; latency is nearly flat in k\n"
+              "(detection and restores overlap), no receipt orders are lost up to\n"
+              "k = f, and only the blocking algorithm stalls the survivors.\n");
+  return 0;
+}

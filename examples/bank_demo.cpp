@@ -1,0 +1,80 @@
+// Bank demo: money conservation across crash-recovery.
+//
+// Eight replicas shuffle transfers with a bounded TTL; two of them crash
+// while transfers are in flight. When the system quiesces, the sum of all
+// balances must equal the initial total — every in-flight transfer was
+// either replayed from logs or retransmitted, never lost or duplicated.
+// Runs the same schedule under both recovery algorithms and prints the
+// intrusion difference.
+//
+// Run:  ./examples/bank_demo
+#include <cstdio>
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "runtime/cluster.hpp"
+
+using namespace rr;
+
+namespace {
+
+struct Outcome {
+  std::int64_t total{0};
+  Duration blocked{0};
+  std::size_t recoveries{0};
+  bool idle{false};
+};
+
+Outcome run(recovery::Algorithm alg) {
+  runtime::ClusterConfig config;
+  config.num_processes = 8;
+  config.f = 2;
+  config.algorithm = alg;
+  config.supervisor_restart_delay = milliseconds(800);
+  config.detector.heartbeat_period = milliseconds(250);
+  config.detector.timeout = milliseconds(1000);
+  config.storage.seek_latency = milliseconds(3);
+  config.checkpoint_period = seconds(2);
+
+  app::BankConfig bank;
+  bank.tokens_per_process = 1;
+  bank.ttl = 30'000;  // transfers keep flowing through the crash window
+
+  runtime::Cluster cluster(config,
+                           [bank](ProcessId) { return std::make_unique<app::BankApp>(bank); });
+  cluster.start();
+  cluster.crash_at(ProcessId{2}, milliseconds(2'500));
+  cluster.crash_at(ProcessId{5}, milliseconds(4'200));
+  cluster.run_until(seconds(30));
+  while (!cluster.all_idle() && cluster.sim().now() < seconds(90)) {
+    cluster.run_for(milliseconds(500));
+  }
+
+  Outcome out;
+  out.idle = cluster.all_idle();
+  out.blocked = cluster.total_blocked_time();
+  out.recoveries = cluster.all_recoveries().size();
+  for (const ProcessId pid : cluster.pids()) {
+    out.total += dynamic_cast<const app::BankApp&>(cluster.node(pid).application()).balance();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t kExpected = 8 * 1'000'000;
+  bool ok = true;
+  for (const auto alg : {recovery::Algorithm::kBlocking, recovery::Algorithm::kNonBlocking}) {
+    const Outcome o = run(alg);
+    const bool conserved = o.total == kExpected;
+    ok = ok && conserved && o.idle && o.recoveries == 2;
+    std::printf("%-13s recoveries=%zu  sum(balances)=%lld (%s)  live processes stalled %s\n",
+                recovery::to_string(alg), o.recoveries, static_cast<long long>(o.total),
+                conserved ? "conserved" : "VIOLATED",
+                format_duration(o.blocked).c_str());
+  }
+  std::printf("\nBoth algorithms preserve every transfer; only the blocking one makes\n"
+              "the live replicas pay for the failures with stall time.\n");
+  return ok ? 0 : 1;
+}

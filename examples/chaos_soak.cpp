@@ -1,0 +1,87 @@
+// Chaos soak: repeated randomized crashes against a gossiping cluster.
+//
+// Drives many minutes of virtual time with a crash every few seconds
+// (never more than f concurrent), verifying after every recovery wave that
+// the cluster returns to an idle, gap-free state. A longer-running, noisier
+// cousin of the property-test sweep — useful for eyeballing metrics.
+//
+// Run:  ./examples/chaos_soak [rounds] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "common/rng.hpp"
+#include "runtime/cluster.hpp"
+
+using namespace rr;
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2026;
+
+  runtime::ClusterConfig config;
+  config.num_processes = 6;
+  config.f = 2;
+  config.seed = seed;
+  config.algorithm = recovery::Algorithm::kNonBlocking;
+  config.supervisor_restart_delay = milliseconds(600);
+  config.detector.heartbeat_period = milliseconds(250);
+  config.detector.timeout = milliseconds(1000);
+  config.storage.seek_latency = milliseconds(2);
+  config.checkpoint_period = seconds(2);
+  config.recovery.phase_timeout = milliseconds(2500);
+
+  runtime::Cluster cluster(config, [](ProcessId pid) {
+    app::GossipConfig g;
+    g.tokens_per_process = 1;
+    g.seed = 5 + pid.value;
+    return std::make_unique<app::GossipApp>(g);
+  });
+  cluster.start();
+  cluster.run_until(seconds(2));
+
+  Rng chaos(seed);
+  std::size_t crashes = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Up to f crashes, possibly overlapping in their recovery windows.
+    const auto count = 1 + chaos.bounded(config.f);
+    Time at = cluster.sim().now() + milliseconds(100);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const ProcessId victim{static_cast<std::uint32_t>(chaos.bounded(config.num_processes))};
+      cluster.crash_at(victim, at);
+      ++crashes;
+      at += milliseconds(static_cast<std::int64_t>(chaos.bounded(1200)));
+    }
+    // Let the wave play out and the cluster settle.
+    cluster.run_for(seconds(6));
+    Time waited = 0;
+    while (!cluster.all_idle() && waited < seconds(60)) {
+      cluster.run_for(milliseconds(500));
+      waited += milliseconds(500);
+    }
+    if (!cluster.all_idle()) {
+      std::printf("round %d: cluster failed to settle!\n", round);
+      return 1;
+    }
+    std::printf("round %2d: t=%7.1fs crashes=%zu recoveries=%zu gaps=%llu delivered=%llu\n",
+                round, to_seconds(cluster.sim().now()), crashes,
+                cluster.all_recoveries().size(),
+                static_cast<unsigned long long>(
+                    cluster.metrics().counter_value("recovery.det_gaps")),
+                static_cast<unsigned long long>(cluster.total_app_delivered()));
+  }
+
+  const auto& m = cluster.metrics();
+  std::printf("\nsoak finished: %zu crashes, %zu completed recoveries, %llu abandoned\n",
+              crashes, cluster.all_recoveries().size(),
+              static_cast<unsigned long long>(m.counter_value("recovery.abandoned")));
+  std::printf("determinant gaps: %llu, live blocked: %s, gather restarts: %llu\n",
+              static_cast<unsigned long long>(m.counter_value("recovery.det_gaps")),
+              format_duration(cluster.total_blocked_time()).c_str(),
+              static_cast<unsigned long long>(m.counter_value("recovery.gather_restarts")));
+  const bool ok = m.counter_value("recovery.det_gaps") == 0 &&
+                  cluster.total_blocked_time() == 0;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Figure 1 from the paper, executed.
+//
+// Processes p, q, r (p0, p1, p2) plus an injector (p3) that plays the
+// unnamed sender of m. The injector sends m to p, p sends m' to q, q sends
+// m'' to r. With f = 2 the receipt order of m is logged at p and piggybacked
+// to q and r — "the receipt order of m need not be propagated further than
+// r" (§2.1). Then the double failure the paper walks through: p and q crash
+// back to back. Recovery must find m's receipt order in q-or-r's logs,
+// fetch m's data from the injector's send log, and regenerate m'
+// deterministically so q can recover — leaving r a non-orphan.
+//
+// Run:  ./examples/figure1_chain
+#include <cstdio>
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "common/log.hpp"
+#include "runtime/cluster.hpp"
+
+using namespace rr;
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "-v") logging::set_level(LogLevel::kDebug);
+
+  runtime::ClusterConfig config;
+  config.num_processes = 4;  // p, q, r + injector
+  config.f = 2;
+  config.algorithm = recovery::Algorithm::kNonBlocking;
+  config.supervisor_restart_delay = milliseconds(500);
+  config.detector.heartbeat_period = milliseconds(200);
+  config.detector.timeout = milliseconds(800);
+  config.storage.seek_latency = milliseconds(3);
+
+  runtime::Cluster cluster(
+      config, [](ProcessId) { return std::make_unique<app::ChainApp>(app::ChainConfig{32}); });
+  cluster.start();
+
+  // Boot + the first chains take ~50 ms; crash p and q mid-chain.
+  cluster.crash_at(ProcessId{0}, milliseconds(25));  // p
+  cluster.crash_at(ProcessId{1}, milliseconds(29));  // q
+  cluster.run_until(seconds(10));
+
+  std::printf("Figure 1 scenario: p and q failed mid-chain, r stayed live\n\n");
+  const char* names[] = {"p", "q", "r", "injector"};
+  for (const ProcessId pid : cluster.pids()) {
+    const auto& node = cluster.node(pid);
+    const auto& app = dynamic_cast<const app::ChainApp&>(node.application());
+    std::printf("  %-8s inc=%u  chain deliveries=%zu  state hash=%016llx\n", names[pid.value],
+                node.incarnation(), app.log().size(),
+                static_cast<unsigned long long>(app.state_hash()));
+  }
+
+  std::printf("\nrecoveries:\n");
+  for (const auto& t : cluster.all_recoveries()) {
+    std::printf("  inc=%u crashed@%s -> complete@%s, replayed %zu receipts\n", t.inc,
+                format_duration(t.crashed_at).c_str(), format_duration(t.completed_at).c_str(),
+                t.replayed);
+  }
+
+  const auto& m = cluster.metrics();
+  std::printf("\ndeterminant gaps: %llu (0 = every antecedent of a visible message "
+              "was recovered — paper §4.3)\n",
+              static_cast<unsigned long long>(m.counter_value("recovery.det_gaps")));
+  std::printf("live blocked time: %s (the new algorithm never stalls r)\n",
+              format_duration(cluster.total_blocked_time()).c_str());
+  return cluster.all_idle() && m.counter_value("recovery.det_gaps") == 0 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Analytical cost models — the paper's closing wish made concrete.
+//
+// "It is hoped that theoretical formulations could be developed to
+// precisely express the effects of these factors in the same way that
+// message complexity became the yardstick for evaluating and comparing
+// these protocols." (paper §7)
+//
+// Two models:
+//
+//  * MessageModel — the classic yardstick: exact control-message counts for
+//    one recovery episode under each algorithm, as a per-kind breakdown.
+//    The simulator's per-kind counters must match these exactly for clean
+//    (restart-free) episodes; bench T5 verifies it.
+//
+//  * LatencyModel — the paper's proposed replacement yardstick: recovery
+//    latency as the sum of detection, stable-storage, communication and
+//    replay terms. Communication enters multiplied by per-hop latency,
+//    storage by the restore volume — making "which factor dominates" a
+//    computable question instead of a rhetorical one.
+//
+// Both models describe a *batch* episode: k processes crash closely
+// together, one leader recovers them in a single round. Concurrent-failure
+// restarts re-run the inc/dep phases; the models expose that as a
+// parameter instead of hiding it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "recovery/recovery_manager.hpp"
+
+namespace rr::analysis {
+
+/// Per-kind control-message counts for one recovery episode (counted as
+/// transmissions, matching the "recovery.msg.*" metrics).
+struct MessageBreakdown {
+  std::uint64_t ord_request{0};
+  std::uint64_t ord_reply{0};
+  std::uint64_t rset_request{0};
+  std::uint64_t rset_reply{0};
+  std::uint64_t inc_request{0};
+  std::uint64_t inc_reply{0};
+  std::uint64_t dep_request{0};
+  std::uint64_t dep_reply{0};
+  std::uint64_t dep_install{0};
+  std::uint64_t recovery_complete{0};
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct MessageModelInputs {
+  recovery::Algorithm algorithm{recovery::Algorithm::kNonBlocking};
+  std::uint32_t n{8};  ///< application processes
+  std::uint32_t k{1};  ///< simultaneously recovering processes (one batch)
+  /// Completed gather rounds (1 = clean episode; each concurrent-failure
+  /// restart abandons a round's phases and re-runs them).
+  std::uint32_t rounds{1};
+  /// Leader-watch / new-failure RSet polls issued by recovering processes
+  /// while waiting (time-dependent; measured, not predicted).
+  std::uint32_t progress_polls{0};
+};
+
+/// Exact control-message counts for the episode. Excludes replay traffic
+/// (ReplayRequest/Data, retransmissions), which is workload-dependent.
+[[nodiscard]] MessageBreakdown predict_messages(const MessageModelInputs& in);
+
+/// Latency model inputs: the four factors the paper weighs.
+struct LatencyModelInputs {
+  // Detection: local supervisor delay before the restart begins.
+  Duration supervisor_delay{seconds(2)};
+
+  // Stable storage: restore = incarnation read + write, checkpoint pointer
+  // + block read (4 positioning operations + the image transfer).
+  Duration storage_seek{milliseconds(12)};
+  double storage_bytes_per_second{2.0 * 1024 * 1024};
+  std::uint64_t checkpoint_bytes{1 << 20};
+
+  // Communication: the gather's sequential round-trips.
+  Duration hop_latency{microseconds(250)};
+  recovery::Algorithm algorithm{recovery::Algorithm::kNonBlocking};
+  std::uint32_t k{1};  ///< batch size (k > 1 adds the inc phase round trip)
+
+  // Replay: logged receipts re-executed at a fixed CPU cost each.
+  std::uint64_t replay_messages{1000};
+  Duration replay_cost_per_message{microseconds(50)};
+};
+
+struct LatencyBreakdown {
+  Duration detect{0};
+  Duration restore{0};
+  Duration gather{0};
+  Duration replay{0};
+
+  [[nodiscard]] Duration total() const { return detect + restore + gather + replay; }
+  /// Fraction of total attributable to communication (the old yardstick).
+  [[nodiscard]] double communication_share() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// First-order recovery latency for a clean single-batch episode.
+[[nodiscard]] LatencyBreakdown predict_latency(const LatencyModelInputs& in);
+
+}  // namespace rr::analysis

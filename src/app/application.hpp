@@ -1,0 +1,72 @@
+// Application programming model: piecewise-deterministic message handlers.
+//
+// This is the paper's system model made into an API contract: a process's
+// execution is a deterministic function of its initial state and the
+// sequence of messages delivered to it (identified by receipt order). The
+// runtime relies on this for recovery — a restored process re-executes
+// on_start/on_message against the logged receipt sequence and must
+// regenerate exactly the sends of its pre-crash execution.
+//
+// Rules an Application must follow (enforced where cheap, trusted where
+// not):
+//  * All behaviour flows from on_start/on_message; no timers, no wall
+//    clock, no external randomness. Pseudo-randomness is fine if the seed
+//    lives in the snapshot.
+//  * snapshot()/restore() round-trips the full state; state_hash() digests
+//    everything snapshot() covers (test oracles compare hashes across
+//    original and replayed executions).
+//  * No sends to self.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace rr::app {
+
+/// Runtime services available inside a handler.
+class AppContext {
+ public:
+  virtual ~AppContext() = default;
+
+  /// Send an application message (reliable FIFO; logged by the runtime).
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// Queue an external output; the runtime releases it once the state that
+  /// produced it is recoverable (output commit). Returns the output id —
+  /// deterministic, so re-execution regenerates the same ids and the
+  /// external world can deduplicate.
+  virtual std::uint64_t commit_output(Bytes payload) = 0;
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+
+  /// All application processes, sorted, including self. Static membership.
+  [[nodiscard]] virtual const std::vector<ProcessId>& processes() const = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Runs once at receipt order 0, before any delivery (re-executed on
+  /// recovery from a pre-start checkpoint).
+  virtual void on_start(AppContext& ctx) { (void)ctx; }
+
+  /// Deterministic handler for one delivered message.
+  virtual void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) = 0;
+
+  /// Full-state serialization for checkpoints.
+  [[nodiscard]] virtual Bytes snapshot() const = 0;
+  virtual void restore(const Bytes& state) = 0;
+
+  /// Digest of the state snapshot() covers (test oracle).
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+};
+
+using AppFactory = std::function<std::unique_ptr<Application>(ProcessId self)>;
+
+}  // namespace rr::app

@@ -1,0 +1,276 @@
+#include "app/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rr::app {
+
+namespace {
+
+/// xorshift64* step — deterministic PRNG whose whole state is one u64 that
+/// lives in the application snapshot.
+std::uint64_t prng_next(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545f4914f6cdd1dULL;
+}
+
+/// Position of self among the sorted process list.
+std::size_t index_of(AppContext& ctx) {
+  const auto& ps = ctx.processes();
+  const auto it = std::find(ps.begin(), ps.end(), ctx.self());
+  RR_CHECK(it != ps.end());
+  return static_cast<std::size_t>(it - ps.begin());
+}
+
+void mix_into(std::uint64_t& digest, std::uint64_t v) {
+  digest ^= v + 0x9e3779b97f4a7c15ULL + (digest << 6) + (digest >> 2);
+}
+
+}  // namespace
+
+// --- RingTokenApp -----------------------------------------------------------
+
+void RingTokenApp::on_start(AppContext& ctx) {
+  if (ctx.self() != ctx.processes().front()) return;
+  for (std::uint32_t t = 0; t < config_.tokens; ++t) forward(ctx, t, 0);
+}
+
+void RingTokenApp::forward(AppContext& ctx, std::uint32_t token, std::uint64_t hops) {
+  const auto& ps = ctx.processes();
+  const ProcessId next = ps[(index_of(ctx) + 1) % ps.size()];
+  BufWriter w;
+  w.u32(token);
+  w.u64(hops);
+  w.bytes(Bytes(config_.payload_pad));
+  ctx.send(next, std::move(w).take());
+}
+
+void RingTokenApp::on_message(AppContext& ctx, ProcessId from, const Bytes& payload) {
+  (void)from;
+  BufReader r(payload);
+  const std::uint32_t token = r.u32();
+  const std::uint64_t hops = r.u64();
+  ++tokens_seen_;
+  mix_into(digest_, (static_cast<std::uint64_t>(token) << 32) ^ hops);
+  forward(ctx, token, hops + 1);
+}
+
+Bytes RingTokenApp::snapshot() const {
+  BufWriter w;
+  w.u64(tokens_seen_);
+  w.u64(digest_);
+  return std::move(w).take();
+}
+
+void RingTokenApp::restore(const Bytes& state) {
+  BufReader r(state);
+  tokens_seen_ = r.u64();
+  digest_ = r.u64();
+  r.expect_done();
+}
+
+std::uint64_t RingTokenApp::state_hash() const {
+  return Hasher{}.mix_u64(tokens_seen_).mix_u64(digest_).digest();
+}
+
+// --- GossipApp ---------------------------------------------------------------
+
+ProcessId GossipApp::pick_peer(AppContext& ctx) {
+  const auto& ps = ctx.processes();
+  // Choose uniformly among the other processes, deterministically from the
+  // snapshotted PRNG state.
+  const std::size_t self = index_of(ctx);
+  std::size_t k = prng_next(prng_) % (ps.size() - 1);
+  if (k >= self) ++k;
+  return ps[k];
+}
+
+void GossipApp::launch(AppContext& ctx, std::uint64_t token_id) {
+  BufWriter w;
+  w.u64(token_id);
+  w.u64(prng_next(prng_));  // rumor content
+  w.bytes(Bytes(config_.payload_pad));
+  ctx.send(pick_peer(ctx), std::move(w).take());
+}
+
+void GossipApp::on_start(AppContext& ctx) {
+  for (std::uint32_t t = 0; t < config_.tokens_per_process; ++t) {
+    launch(ctx, (static_cast<std::uint64_t>(ctx.self().value) << 32) | t);
+  }
+}
+
+void GossipApp::on_message(AppContext& ctx, ProcessId from, const Bytes& payload) {
+  BufReader r(payload);
+  const std::uint64_t token_id = r.u64();
+  const std::uint64_t rumor = r.u64();
+  ++received_;
+  mix_into(digest_, rumor ^ (static_cast<std::uint64_t>(from.value) << 48));
+  // Keep the token population constant: every delivery forwards once.
+  BufWriter w;
+  w.u64(token_id);
+  w.u64(prng_next(prng_) ^ rumor);
+  w.bytes(Bytes(config_.payload_pad));
+  ctx.send(pick_peer(ctx), std::move(w).take());
+}
+
+Bytes GossipApp::snapshot() const {
+  BufWriter w;
+  w.u64(prng_);
+  w.u64(received_);
+  w.u64(digest_);
+  return std::move(w).take();
+}
+
+void GossipApp::restore(const Bytes& state) {
+  BufReader r(state);
+  prng_ = r.u64();
+  received_ = r.u64();
+  digest_ = r.u64();
+  r.expect_done();
+}
+
+std::uint64_t GossipApp::state_hash() const {
+  return Hasher{}.mix_u64(prng_).mix_u64(received_).mix_u64(digest_).digest();
+}
+
+// --- BankApp -----------------------------------------------------------------
+
+void BankApp::transfer(AppContext& ctx, std::int64_t amount, std::uint32_t ttl) {
+  RR_CHECK(amount <= balance_);
+  const auto& ps = ctx.processes();
+  const std::size_t self = index_of(ctx);
+  std::size_t k = prng_next(prng_) % (ps.size() - 1);
+  if (k >= self) ++k;
+  balance_ -= amount;
+  BufWriter w;
+  w.i64(amount);
+  w.u32(ttl);
+  ctx.send(ps[k], std::move(w).take());
+}
+
+void BankApp::on_start(AppContext& ctx) {
+  for (std::uint32_t t = 0; t < config_.tokens_per_process; ++t) {
+    const std::int64_t amount = 1 + static_cast<std::int64_t>(prng_next(prng_) % 1000);
+    transfer(ctx, amount, config_.ttl);
+  }
+}
+
+void BankApp::on_message(AppContext& ctx, ProcessId from, const Bytes& payload) {
+  (void)from;
+  BufReader r(payload);
+  const std::int64_t amount = r.i64();
+  const std::uint32_t ttl = r.u32();
+  balance_ += amount;
+  ++transfers_seen_;
+  if (ttl == 0) return;  // token dies; system drains toward quiescence
+  const std::int64_t next = 1 + static_cast<std::int64_t>(
+                                    prng_next(prng_) %
+                                    static_cast<std::uint64_t>(std::max<std::int64_t>(
+                                        1, std::min<std::int64_t>(balance_, 1000))));
+  transfer(ctx, next, ttl - 1);
+}
+
+Bytes BankApp::snapshot() const {
+  BufWriter w;
+  w.i64(balance_);
+  w.u64(prng_);
+  w.u64(transfers_seen_);
+  return std::move(w).take();
+}
+
+void BankApp::restore(const Bytes& state) {
+  BufReader r(state);
+  balance_ = r.i64();
+  prng_ = r.u64();
+  transfers_seen_ = r.u64();
+  r.expect_done();
+}
+
+std::uint64_t BankApp::state_hash() const {
+  return Hasher{}
+      .mix_u64(static_cast<std::uint64_t>(balance_))
+      .mix_u64(prng_)
+      .mix_u64(transfers_seen_)
+      .digest();
+}
+
+// --- ChainApp ----------------------------------------------------------------
+
+void ChainApp::on_start(AppContext& ctx) {
+  // The injector (highest pid) plays the unnamed sender of m in Figure 1.
+  if (ctx.self() != ctx.processes().back()) return;
+  for (std::uint32_t round = 0; round < config_.rounds; ++round) {
+    BufWriter w;
+    w.u32(round);
+    w.u32(0);  // position in the chain
+    ctx.send(ctx.processes().front(), std::move(w).take());
+  }
+}
+
+void ChainApp::on_message(AppContext& ctx, ProcessId from, const Bytes& payload) {
+  (void)from;
+  BufReader r(payload);
+  const std::uint32_t round = r.u32();
+  const std::uint32_t pos = r.u32();
+  log_.push_back((static_cast<std::uint64_t>(round) << 32) | pos);
+  const auto& ps = ctx.processes();
+  const std::size_t self = index_of(ctx);
+  // Forward m -> m' -> m'' down the chain p0, p1, p2, ... (the injector is
+  // the last process and terminates the chain).
+  if (self + 1 < ps.size() - 1) {
+    BufWriter w;
+    w.u32(round);
+    w.u32(pos + 1);
+    ctx.send(ps[self + 1], std::move(w).take());
+  }
+}
+
+Bytes ChainApp::snapshot() const {
+  BufWriter w;
+  w.varint(log_.size());
+  for (const auto v : log_) w.u64(v);
+  return std::move(w).take();
+}
+
+void ChainApp::restore(const Bytes& state) {
+  BufReader r(state);
+  log_.clear();
+  const auto n = r.varint();
+  log_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) log_.push_back(r.u64());
+  r.expect_done();
+}
+
+std::uint64_t ChainApp::state_hash() const {
+  Hasher h;
+  for (const auto v : log_) h.mix_u64(v);
+  return h.digest();
+}
+
+// --- PaddedApp ---------------------------------------------------------------
+
+PaddedApp::PaddedApp(std::unique_ptr<Application> inner, std::size_t pad_bytes)
+    : inner_(std::move(inner)), pad_(pad_bytes) {
+  RR_CHECK(inner_ != nullptr);
+  // Deterministic filler so snapshots are value-stable.
+  for (std::size_t i = 0; i < pad_.size(); ++i) pad_[i] = static_cast<std::byte>(i * 31 + 7);
+}
+
+Bytes PaddedApp::snapshot() const {
+  BufWriter w(pad_.size() + 64);
+  w.bytes(inner_->snapshot());
+  w.bytes(pad_);
+  return std::move(w).take();
+}
+
+void PaddedApp::restore(const Bytes& state) {
+  BufReader r(state);
+  inner_->restore(r.bytes());
+  pad_ = r.bytes();
+  r.expect_done();
+}
+
+}  // namespace rr::app

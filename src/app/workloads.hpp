@@ -1,0 +1,191 @@
+// Built-in piecewise-deterministic workloads.
+//
+// All traffic is message-driven (handlers may only react to deliveries), so
+// every workload keeps a fixed population of circulating "tokens": each
+// delivery triggers at most a bounded number of sends, and pseudo-random
+// choices draw from a PRNG whose seed lives in the snapshot. That is what
+// makes replay exact.
+//
+//  * RingTokenApp   — tokens around a ring; steady, fully ordered traffic.
+//                     Oracle: per-token hop counts and order-sensitive state
+//                     digests match a failure-free reference run.
+//  * GossipApp      — tokens walk to deterministic pseudo-random peers with
+//                     configurable payload size; the irregular traffic that
+//                     exercises piggyback propagation.
+//  * BankApp        — money transfers with a TTL; after all tokens expire
+//                     the system is quiescent and sum(balances) must equal
+//                     the initial total (conservation oracle for recovery).
+//  * ChainApp       — the paper's Figure 1 (m, m', m'' across p, q, r),
+//                     scripted for the double-failure scenario.
+//  * PaddedApp      — decorator that inflates snapshot size to model the
+//                     paper's ~1 MB process images (restore-cost knob).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/application.hpp"
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+
+namespace rr::app {
+
+// --- RingTokenApp -----------------------------------------------------------
+
+struct RingConfig {
+  /// Tokens injected by the lowest pid at start.
+  std::uint32_t tokens{4};
+  /// Extra payload bytes carried by each token.
+  std::uint32_t payload_pad{64};
+};
+
+class RingTokenApp : public Application {
+ public:
+  explicit RingTokenApp(RingConfig config) : config_(config) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) override;
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+
+  [[nodiscard]] std::uint64_t tokens_seen() const noexcept { return tokens_seen_; }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  void forward(AppContext& ctx, std::uint32_t token, std::uint64_t hops);
+
+  RingConfig config_;
+  std::uint64_t tokens_seen_{0};
+  std::uint64_t digest_{0xabcdef0123456789ULL};
+};
+
+// --- GossipApp ---------------------------------------------------------------
+
+struct GossipConfig {
+  /// Tokens each process launches at start.
+  std::uint32_t tokens_per_process{2};
+  std::uint32_t payload_pad{128};
+  std::uint64_t seed{42};
+};
+
+class GossipApp : public Application {
+ public:
+  explicit GossipApp(GossipConfig config) : config_(config), prng_(config.seed) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) override;
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  [[nodiscard]] ProcessId pick_peer(AppContext& ctx);
+  void launch(AppContext& ctx, std::uint64_t token_id);
+
+  GossipConfig config_;
+  std::uint64_t prng_;  // xorshift state, part of the snapshot
+  std::uint64_t received_{0};
+  std::uint64_t digest_{0x1234fedcba987654ULL};
+};
+
+// --- BankApp -----------------------------------------------------------------
+
+struct BankConfig {
+  std::int64_t initial_balance{1'000'000};
+  /// Transfers each process initiates at start.
+  std::uint32_t tokens_per_process{2};
+  /// Hops before a transfer token dies (bounds the run).
+  std::uint32_t ttl{256};
+  std::uint64_t seed{7};
+};
+
+class BankApp : public Application {
+ public:
+  explicit BankApp(BankConfig config)
+      : config_(config), balance_(config.initial_balance), prng_(config.seed) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) override;
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+
+  [[nodiscard]] std::int64_t balance() const noexcept { return balance_; }
+  [[nodiscard]] std::uint64_t transfers_seen() const noexcept { return transfers_seen_; }
+
+ private:
+  void transfer(AppContext& ctx, std::int64_t amount, std::uint32_t ttl);
+
+  BankConfig config_;
+  std::int64_t balance_;
+  std::uint64_t prng_;
+  std::uint64_t transfers_seen_{0};
+};
+
+// --- ChainApp (Figure 1) ------------------------------------------------------
+
+/// Scripted p -> q -> r chain: the injector (highest pid) sends m to p0,
+/// p0 sends m' to p1, p1 sends m'' to p2; each delivery appends to a log.
+/// `rounds` chains run back to back so there is enough history to replay.
+struct ChainConfig {
+  std::uint32_t rounds{16};
+};
+
+class ChainApp : public Application {
+ public:
+  explicit ChainApp(ChainConfig config) : config_(config) {}
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) override;
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& log() const noexcept { return log_; }
+
+ private:
+  ChainConfig config_;
+  std::vector<std::uint64_t> log_;
+};
+
+// --- PaddedApp ----------------------------------------------------------------
+
+/// Wraps another application and pads its snapshot to at least `pad_bytes`
+/// (the paper's processes were "about one Mbyte"; benches F3/F6 sweep this).
+class PaddedApp : public Application {
+ public:
+  PaddedApp(std::unique_ptr<Application> inner, std::size_t pad_bytes);
+
+  void on_start(AppContext& ctx) override { inner_->on_start(ctx); }
+  void on_message(AppContext& ctx, ProcessId from, const Bytes& payload) override {
+    inner_->on_message(ctx, from, payload);
+  }
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  [[nodiscard]] std::uint64_t state_hash() const override { return inner_->state_hash(); }
+
+  [[nodiscard]] Application& inner() noexcept { return *inner_; }
+  [[nodiscard]] const Application& inner() const noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Application> inner_;
+  Bytes pad_;
+};
+
+/// Typed accessor through an optional PaddedApp wrapper.
+template <typename T>
+[[nodiscard]] T& unwrap(Application& a) {
+  if (auto* padded = dynamic_cast<PaddedApp*>(&a)) return dynamic_cast<T&>(padded->inner());
+  return dynamic_cast<T&>(a);
+}
+
+}  // namespace rr::app

@@ -1,0 +1,44 @@
+// Always-on invariant checks.
+//
+// RR_CHECK aborts with a message when an invariant is violated; it stays
+// enabled in release builds because a rollback-recovery protocol that keeps
+// running past a broken invariant silently corrupts recovery state. Use for
+// internal invariants; user-facing argument validation should throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rr::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "RR_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace rr::detail
+
+#define RR_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) ::rr::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define RR_CHECK_MSG(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::rr::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+namespace rr {
+
+/// Thrown for recoverable, caller-visible errors (bad configuration,
+/// malformed wire data).
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace rr

@@ -1,0 +1,37 @@
+#include "common/hash.hpp"
+
+namespace rr {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}
+
+Hasher& Hasher::mix(std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    h_ ^= std::to_integer<std::uint8_t>(b);
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::mix(std::string_view s) {
+  for (const char c : s) {
+    h_ ^= static_cast<std::uint8_t>(c);
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::mix_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xff;
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+std::uint64_t hash_bytes(std::span<const std::byte> data) {
+  return Hasher{}.mix(data).digest();
+}
+
+}  // namespace rr

@@ -1,0 +1,31 @@
+// Incremental 64-bit FNV-1a hashing.
+//
+// Used for application state digests (replay-fidelity checks compare the
+// digest of a recovered process against the pre-crash execution) and for
+// whole-trace determinism checks. Not cryptographic; collisions are
+// acceptable for test oracles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace rr {
+
+class Hasher {
+ public:
+  Hasher& mix(std::span<const std::byte> data);
+  Hasher& mix(std::string_view s);
+  Hasher& mix_u64(std::uint64_t v);
+  Hasher& mix_i64(std::int64_t v) { return mix_u64(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_{0xcbf29ce484222325ULL};
+};
+
+[[nodiscard]] std::uint64_t hash_bytes(std::span<const std::byte> data);
+
+}  // namespace rr

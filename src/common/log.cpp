@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace rr::logging {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::function<Time()> g_clock;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) { g_level = level; }
+LogLevel level() { return g_level; }
+
+void set_clock(std::function<Time()> clock) { g_clock = std::move(clock); }
+
+void write(LogLevel level, const char* component, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char body[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+  if (g_clock) {
+    std::fprintf(stderr, "[%12s] %s %-8s %s\n", format_duration(g_clock()).c_str(),
+                 level_name(level), component, body);
+  } else {
+    std::fprintf(stderr, "[   --------] %s %-8s %s\n", level_name(level), component, body);
+  }
+}
+
+}  // namespace rr::logging

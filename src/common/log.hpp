@@ -1,0 +1,45 @@
+// Minimal leveled logging with simulation-time prefixes.
+//
+// The simulator installs a clock callback so every line carries virtual
+// time, which is what makes protocol traces readable ("who knew what
+// when"). Logging is off by default (kWarn) so tests and benches stay
+// quiet; examples turn it up to narrate executions.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace rr {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace logging {
+
+/// Global threshold; lines below it are dropped before formatting.
+void set_level(LogLevel level);
+[[nodiscard]] LogLevel level();
+
+/// Install a virtual-clock source for prefixes (nullptr to clear).
+void set_clock(std::function<Time()> clock);
+
+/// printf-style sink; prefer the RR_LOG_* macros.
+void write(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace logging
+}  // namespace rr
+
+#define RR_LOG(lvl, component, ...)                            \
+  do {                                                         \
+    if (static_cast<int>(lvl) >= static_cast<int>(::rr::logging::level())) \
+      ::rr::logging::write((lvl), (component), __VA_ARGS__);   \
+  } while (false)
+
+#define RR_TRACE(component, ...) RR_LOG(::rr::LogLevel::kTrace, component, __VA_ARGS__)
+#define RR_DEBUG(component, ...) RR_LOG(::rr::LogLevel::kDebug, component, __VA_ARGS__)
+#define RR_INFO(component, ...) RR_LOG(::rr::LogLevel::kInfo, component, __VA_ARGS__)
+#define RR_WARN(component, ...) RR_LOG(::rr::LogLevel::kWarn, component, __VA_ARGS__)
+#define RR_ERROR(component, ...) RR_LOG(::rr::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,142 @@
+#include "common/serde.hpp"
+
+#include <cstring>
+
+namespace rr {
+
+namespace {
+
+template <typename T>
+void put_le(Bytes& buf, T v) {
+  const auto off = buf.size();
+  buf.resize(off + sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[off + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+template <typename T>
+T get_le(std::span<const std::byte> b) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(std::to_integer<std::uint8_t>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void BufWriter::u8(std::uint8_t v) { put_le(buf_, v); }
+void BufWriter::u16(std::uint16_t v) { put_le(buf_, v); }
+void BufWriter::u32(std::uint32_t v) { put_le(buf_, v); }
+void BufWriter::u64(std::uint64_t v) { put_le(buf_, v); }
+
+void BufWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BufWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void BufWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void BufWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void BufWriter::bytes(std::span<const std::byte> v) {
+  varint(v.size());
+  raw(v);
+}
+
+void BufWriter::str(std::string_view v) {
+  varint(v.size());
+  const auto off = buf_.size();
+  buf_.resize(off + v.size());
+  std::memcpy(buf_.data() + off, v.data(), v.size());
+}
+
+void BufWriter::raw(std::span<const std::byte> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+std::span<const std::byte> BufReader::take(std::size_t n) {
+  if (n > remaining()) {
+    throw SerdeError("truncated input: need " + std::to_string(n) + " bytes, have " +
+                     std::to_string(remaining()));
+  }
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t BufReader::u8() { return get_le<std::uint8_t>(take(1)); }
+std::uint16_t BufReader::u16() { return get_le<std::uint16_t>(take(2)); }
+std::uint32_t BufReader::u32() { return get_le<std::uint32_t>(take(4)); }
+std::uint64_t BufReader::u64() { return get_le<std::uint64_t>(take(8)); }
+
+std::int64_t BufReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double BufReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+bool BufReader::boolean() {
+  const auto v = u8();
+  if (v > 1) throw SerdeError("malformed boolean");
+  return v == 1;
+}
+
+std::uint64_t BufReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const auto b = u8();
+    if (shift == 63 && (b & 0x7e) != 0) throw SerdeError("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw SerdeError("varint too long");
+  }
+}
+
+Bytes BufReader::bytes() {
+  const auto n = varint();
+  auto sp = take(n);
+  return Bytes(sp.begin(), sp.end());
+}
+
+std::string BufReader::str() {
+  const auto n = varint();
+  auto sp = take(n);
+  return std::string(reinterpret_cast<const char*>(sp.data()), sp.size());
+}
+
+std::span<const std::byte> BufReader::raw(std::size_t n) { return take(n); }
+
+void BufReader::expect_done() const {
+  if (!done()) {
+    throw SerdeError("trailing garbage: " + std::to_string(remaining()) + " bytes");
+  }
+}
+
+Bytes to_bytes(std::string_view s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+std::string to_text(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace rr

@@ -1,0 +1,104 @@
+// Byte-buffer serialization used for every wire and stable-storage format.
+//
+// Encoding is little-endian fixed width for integers plus LEB128 varints
+// for counts; it is deliberately simple, self-contained and deterministic
+// (the same logical value always encodes to the same bytes) so that message
+// sizes reported by the metrics layer are meaningful and simulation traces
+// are reproducible.
+//
+// BufReader performs full bounds checking and throws rr::SerdeError on any
+// malformed input; protocol code can therefore decode peer input without
+// undefined behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace rr {
+
+/// Raw byte payload.
+using Bytes = std::vector<std::byte>;
+
+/// Thrown by BufReader on truncated or malformed input.
+class SerdeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Append-only encoder.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  /// LEB128 unsigned varint (1..10 bytes).
+  void varint(std::uint64_t v);
+  /// varint length prefix + raw bytes.
+  void bytes(std::span<const std::byte> v);
+  void str(std::string_view v);
+  void process_id(ProcessId p) { u32(p.value); }
+
+  /// Raw append without a length prefix (caller manages framing).
+  void raw(std::span<const std::byte> v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& view() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a non-owning span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::byte> data) : data_(data) {}
+  explicit BufReader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] ProcessId process_id() { return ProcessId{u32()}; }
+
+  /// Read exactly n raw bytes.
+  [[nodiscard]] std::span<const std::byte> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+  /// Throws unless the whole buffer has been consumed.
+  void expect_done() const;
+
+ private:
+  [[nodiscard]] std::span<const std::byte> take(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_{0};
+};
+
+/// Convenience: copy a string's characters into a Bytes payload.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+/// Convenience: interpret a Bytes payload as text (for tests/examples).
+[[nodiscard]] std::string to_text(std::span<const std::byte> b);
+
+}  // namespace rr

@@ -1,0 +1,47 @@
+// Virtual time for the simulation: signed 64-bit nanoseconds.
+//
+// Plain integral aliases (not std::chrono) keep event-queue keys, serde and
+// arithmetic trivial; the helpers below are the only sanctioned way to spell
+// durations, so call sites stay unit-explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rr {
+
+/// Absolute virtual time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// Relative time in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+inline constexpr Duration kDurationZero = 0;
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t n) { return n; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t n) { return n * 1'000; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t n) { return n * 1'000'000; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+[[nodiscard]] constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+[[nodiscard]] constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+[[nodiscard]] constexpr double to_micros(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Human-readable rendering with an auto-selected unit ("1.234ms", "2.5s").
+[[nodiscard]] inline std::string format_duration(Duration d) {
+  const auto abs = d < 0 ? -d : d;
+  char buf[64];
+  if (abs >= seconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(d));
+  } else if (abs >= milliseconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(d));
+  } else if (abs >= microseconds(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_micros(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace rr

@@ -1,0 +1,58 @@
+// Fundamental identifier types shared by every module.
+//
+// ProcessId identifies a logical process in the distributed system; a
+// process keeps its id across crashes and restarts, but each restart bumps
+// its Incarnation. Message streams are numbered per (sender, receiver) pair
+// with send sequence numbers (Ssn) and per receiver with receipt sequence
+// numbers (Rsn) — the pair (sender, ssn) names a message, and the
+// receiver's rsn for it is its *receipt order*, the datum FBL protocols log.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace rr {
+
+/// Identity of a logical process (stable across crash/restart).
+struct ProcessId {
+  std::uint32_t value{std::numeric_limits<std::uint32_t>::max()};
+
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend constexpr auto operator<=>(ProcessId, ProcessId) = default;
+};
+
+/// Sentinel "no process".
+inline constexpr ProcessId kNoProcess{};
+
+/// Number of times a process has recovered; starts at 0 and is incremented
+/// by one on every restart (paper §3.2, `incarnation`).
+using Incarnation = std::uint32_t;
+
+/// Per (sender, receiver) channel send sequence number; first message on a
+/// channel is 1. Consecutive per channel, so receivers can detect gaps.
+using Ssn = std::uint64_t;
+
+/// Per receiver receipt sequence number (the *receipt order*); first
+/// delivery is 1.
+using Rsn = std::uint64_t;
+
+[[nodiscard]] inline std::string to_string(ProcessId p) {
+  return p.valid() ? "p" + std::to_string(p.value) : "p?";
+}
+
+}  // namespace rr
+
+template <>
+struct std::hash<rr::ProcessId> {
+  std::size_t operator()(rr::ProcessId p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value);
+  }
+};

@@ -1,0 +1,81 @@
+#include "detect/failure_detector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rr::detect {
+
+FailureDetector::FailureDetector(sim::Simulator& sim, ProcessId self, DetectorConfig config,
+                                 SendHeartbeat send, SuspicionChanged on_change)
+    : sim_(sim),
+      self_(self),
+      config_(config),
+      send_(std::move(send)),
+      on_change_(std::move(on_change)),
+      beat_timer_(sim, config.heartbeat_period, [this] { send_(); }),
+      sweep_timer_(sim, config.heartbeat_period, [this] { sweep(); }) {
+  RR_CHECK(config_.heartbeat_period > 0);
+  RR_CHECK_MSG(config_.timeout >= 2 * config_.heartbeat_period,
+               "timeout must cover at least two heartbeat periods");
+  RR_CHECK(send_ != nullptr);
+}
+
+void FailureDetector::set_peers(const std::vector<ProcessId>& peers) {
+  peers_.clear();
+  for (const ProcessId p : peers) {
+    if (p != self_) peers_[p] = PeerState{sim_.now(), false};
+  }
+}
+
+void FailureDetector::start() {
+  for (auto& [id, st] : peers_) st.last_seen = sim_.now();
+  // Send one immediate heartbeat so restarts announce themselves promptly.
+  send_();
+  beat_timer_.start();
+  sweep_timer_.start();
+}
+
+void FailureDetector::stop() {
+  beat_timer_.stop();
+  sweep_timer_.stop();
+}
+
+void FailureDetector::on_heartbeat(ProcessId from) {
+  const auto it = peers_.find(from);
+  if (it == peers_.end()) return;
+  it->second.last_seen = sim_.now();
+  if (it->second.suspected) {
+    it->second.suspected = false;
+    RR_DEBUG("detect", "%s un-suspects %s", to_string(self_).c_str(), to_string(from).c_str());
+    if (on_change_) on_change_(from, false);
+  }
+}
+
+void FailureDetector::sweep() {
+  for (auto& [id, st] : peers_) {
+    if (!st.suspected && sim_.now() - st.last_seen > config_.timeout) {
+      st.suspected = true;
+      RR_DEBUG("detect", "%s suspects %s", to_string(self_).c_str(), to_string(id).c_str());
+      if (on_change_) on_change_(id, true);
+    }
+  }
+}
+
+bool FailureDetector::suspects(ProcessId peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.suspected;
+}
+
+std::vector<ProcessId> FailureDetector::suspected() const {
+  std::vector<ProcessId> out;
+  for (const auto& [id, st] : peers_) {
+    if (st.suspected) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rr::detect

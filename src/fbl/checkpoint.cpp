@@ -1,0 +1,40 @@
+#include "fbl/checkpoint.hpp"
+
+namespace rr::fbl {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x46424C43;  // "FBLC"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+Bytes Checkpoint::encode() const {
+  BufWriter w(app_state.size() + 256);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.boolean(app_started);
+  w.u64(rsn);
+  fbl::encode(w, send_seq);
+  fbl::encode(w, recv_marks);
+  send_log.encode(w);
+  det_log.encode(w);
+  w.bytes(app_state);
+  return std::move(w).take();
+}
+
+Checkpoint Checkpoint::decode(const Bytes& data) {
+  BufReader r(data);
+  if (r.u32() != kMagic) throw SerdeError("bad checkpoint magic");
+  if (r.u16() != kVersion) throw SerdeError("unsupported checkpoint version");
+  Checkpoint cp;
+  cp.app_started = r.boolean();
+  cp.rsn = r.u64();
+  cp.send_seq = decode_watermarks(r);
+  cp.recv_marks = decode_watermarks(r);
+  cp.send_log = SendLog::decode(r);
+  cp.det_log = DeterminantLog::decode(r);
+  cp.app_state = r.bytes();
+  r.expect_done();
+  return cp;
+}
+
+}  // namespace rr::fbl

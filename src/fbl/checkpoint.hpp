@@ -1,0 +1,46 @@
+// Checkpoint contents.
+//
+// An FBL checkpoint is the full recoverable image of a process: the
+// application snapshot plus the protocol state needed to resume logging
+// duties — receive watermarks, sequence counters, and crucially the send
+// log and determinant log. Including the logs is what lets a restored
+// process keep serving payloads it sent (and determinants it learned)
+// *before* the checkpoint, which re-execution from the checkpoint could
+// never regenerate. This is ordinary checkpoint content, not extra stable
+// logging: FBL's "no stable logging" claim is about the per-message path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "fbl/determinant_log.hpp"
+#include "fbl/send_log.hpp"
+#include "fbl/watermarks.hpp"
+
+namespace rr::fbl {
+
+struct Checkpoint {
+  /// Whether the application's on_start had already run when the snapshot
+  /// was cut. The boot-time checkpoint is cut *before* on_start so that a
+  /// recovery from it re-executes on_start deterministically (regenerating
+  /// its sends); every later checkpoint has it true.
+  bool app_started{false};
+  /// Receipt order of the last message delivered before the snapshot.
+  Rsn rsn{0};
+  /// Per-destination last send sequence numbers used.
+  Watermarks send_seq;
+  /// Per-sender delivered-ssn watermarks at the snapshot.
+  Watermarks recv_marks;
+  /// Message-data log (survives for peers' recoveries).
+  SendLog send_log;
+  /// Determinant log (receipt-order knowledge).
+  DeterminantLog det_log;
+  /// Opaque application snapshot.
+  Bytes app_state;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Checkpoint decode(const Bytes& data);
+};
+
+}  // namespace rr::fbl

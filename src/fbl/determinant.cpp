@@ -1,0 +1,38 @@
+#include "fbl/determinant.hpp"
+
+namespace rr::fbl {
+
+void Determinant::encode(BufWriter& w) const {
+  w.process_id(source);
+  w.u64(ssn);
+  w.process_id(dest);
+  w.u64(rsn);
+}
+
+Determinant Determinant::decode(BufReader& r) {
+  Determinant d;
+  d.source = r.process_id();
+  d.ssn = r.u64();
+  d.dest = r.process_id();
+  d.rsn = r.u64();
+  return d;
+}
+
+std::string to_string(const Determinant& d) {
+  return "det(" + rr::to_string(d.source) + "#" + std::to_string(d.ssn) + " -> " +
+         rr::to_string(d.dest) + " @rsn" + std::to_string(d.rsn) + ")";
+}
+
+void HeldDeterminant::encode(BufWriter& w) const {
+  det.encode(w);
+  w.u64(holders);
+}
+
+HeldDeterminant HeldDeterminant::decode(BufReader& r) {
+  HeldDeterminant h;
+  h.det = Determinant::decode(r);
+  h.holders = r.u64();
+  return h;
+}
+
+}  // namespace rr::fbl

@@ -1,0 +1,79 @@
+// Determinants — the receipt orders that message-logging recovery is about.
+//
+// A determinant records that message (source, ssn) was delivered to `dest`
+// as its rsn-th delivery. Replaying a process's post-checkpoint determinants
+// in rsn order, with the matching payloads, reproduces its pre-crash
+// execution (the system model is piecewise deterministic). FBL's failure-
+// free job is to spread each determinant to f+1 hosts; recovery's job is to
+// reassemble a consistent snapshot of them — the algorithm this repo
+// reproduces.
+//
+// HolderMask tracks which processes are known to have a determinant in
+// their volatile logs, as a bitmask by ProcessId (so n ≤ 63). Bit 63 is the
+// stable-storage pseudo-holder used by the f = n instance (Manetho-style):
+// the paper models stable storage as "an additional process that never
+// fails", and a determinant held there is recoverable under any number of
+// crash failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace rr::fbl {
+
+using HolderMask = std::uint64_t;
+
+/// Stable storage pseudo-holder (never fails).
+inline constexpr int kStableHolderBit = 63;
+inline constexpr HolderMask kStableHolder = HolderMask{1} << kStableHolderBit;
+
+/// Highest ProcessId usable as a holder bit.
+inline constexpr std::uint32_t kMaxProcesses = 63;
+
+[[nodiscard]] constexpr HolderMask holder_bit(ProcessId p) {
+  return HolderMask{1} << p.value;
+}
+
+[[nodiscard]] constexpr bool holds(HolderMask m, ProcessId p) {
+  return (m & holder_bit(p)) != 0;
+}
+
+[[nodiscard]] constexpr int holder_count(HolderMask m) {
+  return __builtin_popcountll(m);
+}
+
+struct Determinant {
+  ProcessId source;  ///< sender of the message
+  Ssn ssn{0};        ///< per-channel (source -> dest) send sequence number
+  ProcessId dest;    ///< receiver
+  Rsn rsn{0};        ///< receiver-global receipt order
+
+  friend constexpr auto operator<=>(const Determinant&, const Determinant&) = default;
+
+  void encode(BufWriter& w) const;
+  [[nodiscard]] static Determinant decode(BufReader& r);
+
+  /// Wire size of one encoded determinant.
+  static constexpr std::size_t kWireBytes = 4 + 8 + 4 + 8;
+};
+
+[[nodiscard]] std::string to_string(const Determinant& d);
+
+/// A determinant plus which processes are known to hold it; the unit that
+/// gets piggybacked on application messages.
+struct HeldDeterminant {
+  Determinant det;
+  HolderMask holders{0};
+
+  friend constexpr auto operator<=>(const HeldDeterminant&, const HeldDeterminant&) = default;
+
+  void encode(BufWriter& w) const;
+  [[nodiscard]] static HeldDeterminant decode(BufReader& r);
+
+  static constexpr std::size_t kWireBytes = Determinant::kWireBytes + 8;
+};
+
+}  // namespace rr::fbl

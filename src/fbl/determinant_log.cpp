@@ -1,0 +1,168 @@
+#include "fbl/determinant_log.hpp"
+
+#include "common/assert.hpp"
+
+namespace rr::fbl {
+
+void DeterminantLog::set_propagation_threshold(int holders_needed) {
+  RR_CHECK(holders_needed >= 1);
+  threshold_ = holders_needed;
+  active_.clear();
+  unstable_.clear();
+  pending_by_dest_.clear();
+  for (const auto& [key, h] : by_dest_rsn_) index(key, h);
+}
+
+void DeterminantLog::index(const Key& key, const HeldDeterminant& h) {
+  if (is_active(h)) {
+    active_.insert(key);
+    for (auto& [to, pending] : pending_by_dest_) {
+      if (holds(h.holders, to)) {
+        pending.erase(key);
+      } else {
+        pending.insert(key);
+      }
+    }
+  } else {
+    active_.erase(key);
+    for (auto& [to, pending] : pending_by_dest_) pending.erase(key);
+  }
+  if ((h.holders & kStableHolder) == 0) {
+    unstable_.insert(key);
+  } else {
+    unstable_.erase(key);
+  }
+}
+
+void DeterminantLog::unindex(const Key& key) {
+  active_.erase(key);
+  unstable_.erase(key);
+  for (auto& [to, pending] : pending_by_dest_) pending.erase(key);
+}
+
+std::set<DeterminantLog::Key>& DeterminantLog::pending_for(ProcessId to) const {
+  const auto it = pending_by_dest_.find(to);
+  if (it != pending_by_dest_.end()) return it->second;
+  auto& pending = pending_by_dest_[to];
+  for (const Key& key : active_) {
+    if (!holds(by_dest_rsn_.at(key).holders, to)) pending.insert(key);
+  }
+  return pending;
+}
+
+bool DeterminantLog::record(const HeldDeterminant& h) {
+  const Key key{h.det.dest, h.det.rsn};
+  auto [it, inserted] = by_dest_rsn_.try_emplace(key, h);
+  if (!inserted) {
+    // A receipt order names exactly one message: conflicting knowledge
+    // about (dest, rsn) means the logging protocol itself is broken.
+    RR_CHECK_MSG(it->second.det == h.det, "conflicting determinants for one receipt order");
+    it->second.holders |= h.holders;
+  }
+  index(key, it->second);
+  return inserted;
+}
+
+void DeterminantLog::add_holders(const Determinant& d, HolderMask extra) {
+  const Key key{d.dest, d.rsn};
+  const auto it = by_dest_rsn_.find(key);
+  if (it != by_dest_rsn_.end() && it->second.det == d) {
+    it->second.holders |= extra;
+    index(key, it->second);
+  }
+}
+
+void DeterminantLog::remove_holder(const Determinant& d, ProcessId peer) {
+  const Key key{d.dest, d.rsn};
+  const auto it = by_dest_rsn_.find(key);
+  if (it != by_dest_rsn_.end() && it->second.det == d) {
+    it->second.holders &= ~holder_bit(peer);
+    // A determinant may re-enter the active set; the incremental pending
+    // indices can't efficiently reflect that, so rebuild them lazily.
+    pending_by_dest_.clear();
+    index(key, it->second);
+  }
+}
+
+std::vector<HeldDeterminant> DeterminantLog::piggyback_for(ProcessId to) const {
+  const auto& pending = pending_for(to);
+  std::vector<HeldDeterminant> out;
+  out.reserve(pending.size());
+  for (const Key& key : pending) out.push_back(by_dest_rsn_.at(key));
+  return out;
+}
+
+std::vector<HeldDeterminant> DeterminantLog::slice_for(HolderMask dests) const {
+  std::vector<HeldDeterminant> out;
+  for (const auto& [key, h] : by_dest_rsn_) {
+    if (holds(dests, h.det.dest)) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<Determinant> DeterminantLog::replay_schedule(ProcessId owner, Rsn after) const {
+  std::vector<Determinant> out;
+  // by_dest_rsn_ is ordered by (dest, rsn), so the owner's range is already
+  // in rsn order.
+  for (auto it = by_dest_rsn_.lower_bound(Key{owner, after + 1}); it != by_dest_rsn_.end();
+       ++it) {
+    if (it->first.first != owner) break;
+    out.push_back(it->second.det);
+  }
+  return out;
+}
+
+Ssn DeterminantLog::max_ssn(ProcessId source, ProcessId dest) const {
+  Ssn best = 0;
+  for (auto it = by_dest_rsn_.lower_bound(Key{dest, 0}); it != by_dest_rsn_.end(); ++it) {
+    if (it->first.first != dest) break;
+    if (it->second.det.source == source) best = std::max(best, it->second.det.ssn);
+  }
+  return best;
+}
+
+std::size_t DeterminantLog::prune_dest(ProcessId dest, Rsn upto) {
+  const auto lo = by_dest_rsn_.lower_bound(Key{dest, 0});
+  const auto hi = by_dest_rsn_.upper_bound(Key{dest, upto});
+  std::size_t n = 0;
+  for (auto it = lo; it != hi; ++it, ++n) unindex(it->first);
+  by_dest_rsn_.erase(lo, hi);
+  return n;
+}
+
+std::vector<Determinant> DeterminantLog::unstable() const {
+  std::vector<Determinant> out;
+  out.reserve(unstable_.size());
+  for (const Key& key : unstable_) out.push_back(by_dest_rsn_.at(key).det);
+  return out;
+}
+
+bool DeterminantLog::contains(ProcessId dest, Rsn rsn) const {
+  return by_dest_rsn_.contains(Key{dest, rsn});
+}
+
+const HeldDeterminant* DeterminantLog::find(ProcessId dest, Rsn rsn) const {
+  const auto it = by_dest_rsn_.find(Key{dest, rsn});
+  return it == by_dest_rsn_.end() ? nullptr : &it->second;
+}
+
+void DeterminantLog::clear() {
+  by_dest_rsn_.clear();
+  active_.clear();
+  unstable_.clear();
+  pending_by_dest_.clear();
+}
+
+void DeterminantLog::encode(BufWriter& w) const {
+  w.varint(by_dest_rsn_.size());
+  for (const auto& [key, h] : by_dest_rsn_) h.encode(w);
+}
+
+DeterminantLog DeterminantLog::decode(BufReader& r) {
+  DeterminantLog log;
+  const auto n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) log.record(HeldDeterminant::decode(r));
+  return log;
+}
+
+}  // namespace rr::fbl

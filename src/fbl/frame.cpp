@@ -1,0 +1,61 @@
+#include "fbl/frame.hpp"
+
+namespace rr::fbl {
+
+FrameKind decode_kind(BufReader& r) {
+  const auto k = r.u8();
+  if (k < 1 || k > 5) throw SerdeError("unknown frame kind " + std::to_string(k));
+  return static_cast<FrameKind>(k);
+}
+
+Bytes AppFrame::encode() const {
+  BufWriter w(payload.size() + dets.size() * HeldDeterminant::kWireBytes + 32);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kApp));
+  w.u32(inc);
+  w.u64(ssn);
+  w.varint(dets.size());
+  for (const auto& d : dets) d.encode(w);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+AppFrame AppFrame::decode(BufReader& r) {
+  AppFrame f;
+  f.inc = r.u32();
+  f.ssn = r.u64();
+  const auto n = r.varint();
+  f.dets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) f.dets.push_back(HeldDeterminant::decode(r));
+  f.payload = r.bytes();
+  return f;
+}
+
+Bytes HeartbeatFrame::encode() const {
+  BufWriter w(8);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kHeartbeat));
+  w.u32(inc);
+  return std::move(w).take();
+}
+
+HeartbeatFrame HeartbeatFrame::decode(BufReader& r) {
+  HeartbeatFrame f;
+  f.inc = r.u32();
+  return f;
+}
+
+Bytes CkptNoticeFrame::encode() const {
+  BufWriter w(64);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kCkptNotice));
+  w.u64(rsn);
+  fbl::encode(w, recv_marks);
+  return std::move(w).take();
+}
+
+CkptNoticeFrame CkptNoticeFrame::decode(BufReader& r) {
+  CkptNoticeFrame f;
+  f.rsn = r.u64();
+  f.recv_marks = decode_watermarks(r);
+  return f;
+}
+
+}  // namespace rr::fbl

@@ -1,0 +1,60 @@
+// Incarnation vectors (paper §3.2, `incvector`).
+//
+// incvector[q] is the lowest incarnation of q from which messages are still
+// acceptable; a frame tagged with an older incarnation is *stale* — sent by
+// a dead execution of q — and must be rejected, or the receiver could
+// acquire a dependency on state the recovery cannot reproduce. The recovery
+// leader distributes its incvector with every depinfo request, which is the
+// new algorithm's substitute for blocking live processes.
+#pragma once
+
+#include <map>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace rr::fbl {
+
+using IncVector = std::map<ProcessId, Incarnation>;
+
+/// Known incarnation floor for `p`; processes start at incarnation 1.
+[[nodiscard]] inline Incarnation incarnation_of(const IncVector& v, ProcessId p) {
+  const auto it = v.find(p);
+  return it == v.end() ? 1 : it->second;
+}
+
+/// Raise `v[p]` to at least `inc`.
+inline void raise_incarnation(IncVector& v, ProcessId p, Incarnation inc) {
+  auto [it, inserted] = v.try_emplace(p, inc);
+  if (!inserted && inc > it->second) it->second = inc;
+}
+
+/// Entrywise max merge.
+inline void merge_max(IncVector& into, const IncVector& from) {
+  for (const auto& [p, inc] : from) raise_incarnation(into, p, inc);
+}
+
+/// A frame from `src` tagged `inc` is stale iff it predates the floor.
+[[nodiscard]] inline bool is_stale(const IncVector& v, ProcessId src, Incarnation inc) {
+  return inc < incarnation_of(v, src);
+}
+
+inline void encode(BufWriter& w, const IncVector& v) {
+  w.varint(v.size());
+  for (const auto& [p, inc] : v) {
+    w.process_id(p);
+    w.u32(inc);
+  }
+}
+
+[[nodiscard]] inline IncVector decode_inc_vector(BufReader& r) {
+  IncVector v;
+  const auto n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ProcessId p = r.process_id();
+    v[p] = r.u32();
+  }
+  return v;
+}
+
+}  // namespace rr::fbl

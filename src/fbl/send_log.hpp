@@ -1,0 +1,60 @@
+// Sender-based volatile message-data log.
+//
+// FBL logs each message's *data* exactly once, in the volatile store of its
+// sender (paper §2): recovery fetches payloads from senders' logs and only
+// receipt orders need replication. The log is part of the sender's process
+// state, so it is included in checkpoints (a sender restored from a
+// checkpoint can still serve payloads it sent before checkpointing — it
+// cannot regenerate those by re-execution).
+//
+// Garbage collection: an entry (to, ssn) is needed only while the receiver
+// might replay it, i.e. until the receiver commits a checkpoint whose
+// receive watermark for this sender reaches ssn. prune() applies such a
+// watermark.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace rr::fbl {
+
+class SendLog {
+ public:
+  struct Entry {
+    Ssn ssn{0};
+    Bytes payload;
+  };
+
+  /// Record an outgoing message. ssn must be strictly increasing per
+  /// destination (one process's sends are totally ordered).
+  void record(ProcessId to, Ssn ssn, Bytes payload);
+
+  /// Payload of (to, ssn), or nullptr if absent/pruned.
+  [[nodiscard]] const Bytes* find(ProcessId to, Ssn ssn) const;
+
+  /// Entries to `to` with ssn > `after`, ascending — the retransmission set
+  /// for a receiver that recovered with receive watermark `after`.
+  [[nodiscard]] std::vector<Entry> entries_after(ProcessId to, Ssn after) const;
+
+  /// Drop entries to `to` with ssn <= `upto`. Returns number removed.
+  std::size_t prune(ProcessId to, Ssn upto);
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return total_bytes_; }
+
+  void clear();
+
+  void encode(BufWriter& w) const;
+  [[nodiscard]] static SendLog decode(BufReader& r);
+
+ private:
+  std::map<ProcessId, std::map<Ssn, Bytes>> per_dest_;
+  std::size_t total_{0};
+  std::size_t total_bytes_{0};
+};
+
+}  // namespace rr::fbl

@@ -1,0 +1,44 @@
+#include "harness/experiments.hpp"
+
+namespace rr::harness {
+
+runtime::ClusterConfig PaperSetup::testbed(recovery::Algorithm algorithm, std::uint32_t n,
+                                           std::uint32_t f) {
+  runtime::ClusterConfig cfg;
+  cfg.num_processes = n;
+  cfg.f = f;
+  cfg.algorithm = algorithm;
+  cfg.seed = 1995;
+
+  cfg.net.base_latency = microseconds(250);
+  cfg.net.bytes_per_second = 155e6 / 8.0;  // 155 Mb/s ATM
+  cfg.net.jitter_max = microseconds(50);
+
+  cfg.storage.seek_latency = milliseconds(12);
+  cfg.storage.bytes_per_second = 2.0 * 1024 * 1024;
+
+  cfg.detector.heartbeat_period = milliseconds(500);
+  cfg.detector.timeout = seconds(3);
+
+  cfg.supervisor_restart_delay = seconds(2);
+  cfg.checkpoint_period = seconds(5);
+  cfg.replay_delivery_cost = microseconds(50);
+
+  cfg.recovery.progress_period = milliseconds(500);
+  cfg.recovery.phase_timeout = seconds(5);
+  return cfg;
+}
+
+app::AppFactory PaperSetup::workload(std::size_t pad_bytes, std::uint32_t sources) {
+  return [pad_bytes, sources](ProcessId pid) -> std::unique_ptr<app::Application> {
+    app::GossipConfig cfg;
+    cfg.tokens_per_process = pid.value < sources ? 1 : 0;
+    cfg.payload_pad = 96;
+    cfg.seed = 42 + pid.value;
+    auto inner = std::make_unique<app::GossipApp>(cfg);
+    if (pad_bytes == 0) return inner;
+    return std::make_unique<app::PaddedApp>(std::move(inner), pad_bytes);
+  };
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,59 @@
+// Calibrated "paper testbed" configuration.
+//
+// The paper's prototype ran on eight DEC 5000/200 workstations (25 MHz
+// MIPS, 32 MB RAM, ~1 MB process images) over a 155 Mb/s ATM LAN, with
+// checkpoints on local disks. These helpers encode that environment for
+// the simulator:
+//
+//   network    250 us base one-way latency, 155 Mb/s, 50 us jitter
+//   storage    12 ms positioning + 2 MB/s (mid-90s SCSI disk)
+//   detection  500 ms heartbeats, 3 s suspicion timeout; the local
+//              supervisor notices a crash after 2 s ("timeouts and
+//              retrials")
+//   processes  ~1 MB restorable image (padded snapshot + send log)
+//   replay     50 us of CPU per re-executed message (25 MHz-era handler)
+//   workload   two gossip tokens circulating among n processes
+//              (~800 deliveries/s per process)
+//
+// Experiment timings below place the first crash ~1.2 s after the first
+// checkpoint commits, which leaves roughly a thousand messages to replay —
+// the regime where the paper measured ~50 ms of live-process blocking
+// under the blocking algorithm.
+#pragma once
+
+#include "app/workloads.hpp"
+#include "harness/scenario.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "runtime/cluster.hpp"
+
+namespace rr::harness {
+
+struct PaperSetup {
+  /// Cluster configuration matching the paper's testbed.
+  [[nodiscard]] static runtime::ClusterConfig testbed(recovery::Algorithm algorithm,
+                                                      std::uint32_t n = 8,
+                                                      std::uint32_t f = 2);
+
+  /// Gossip workload with `sources` token launchers and ~`pad_bytes` of
+  /// process image.
+  [[nodiscard]] static app::AppFactory workload(std::size_t pad_bytes = 512 * 1024,
+                                                std::uint32_t sources = 2);
+
+  /// First crash: ~1.2 s after the first checkpoints commit.
+  static constexpr Time kFirstCrash = milliseconds(6'500);
+  /// Second crash: while the first process is restoring its checkpoint.
+  static constexpr Time kSecondCrash = milliseconds(8'900);
+  /// Default horizon leaving room for double-failure recoveries.
+  static constexpr Time kHorizon = seconds(20);
+};
+
+/// Mean over completed recoveries of a timeline field.
+template <typename Fn>
+[[nodiscard]] double mean_over(const std::vector<runtime::RecoveryTimeline>& ts, Fn fn) {
+  if (ts.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& t : ts) sum += static_cast<double>(fn(t));
+  return sum / static_cast<double>(ts.size());
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,95 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace rr::harness {
+
+Duration ScenarioResult::total_blocked() const {
+  Duration t = 0;
+  for (const auto& b : blocked) t += b.blocked;
+  return t;
+}
+
+Duration ScenarioResult::max_blocked() const {
+  Duration t = 0;
+  for (const auto& b : blocked) t = std::max(t, b.blocked);
+  return t;
+}
+
+Duration ScenarioResult::mean_live_blocked(const std::vector<CrashEvent>& crashes) const {
+  Duration total = 0;
+  std::size_t count = 0;
+  for (const auto& b : blocked) {
+    const bool crashed = std::any_of(crashes.begin(), crashes.end(),
+                                     [&](const CrashEvent& c) { return c.pid == b.pid; });
+    if (crashed) continue;
+    total += b.blocked;
+    ++count;
+  }
+  return count == 0 ? 0 : total / static_cast<Duration>(count);
+}
+
+app::AppFactory default_factory() {
+  return [](ProcessId) {
+    app::GossipConfig cfg;
+    cfg.tokens_per_process = 1;
+    cfg.payload_pad = 96;
+    return std::make_unique<app::GossipApp>(cfg);
+  };
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const std::function<void(runtime::Cluster&)>& inspect) {
+  runtime::Cluster cluster(config.cluster, config.factory ? config.factory : default_factory());
+  cluster.start();
+  for (const auto& crash : config.crashes) cluster.crash_at(crash.pid, crash.at);
+
+  cluster.run_until(config.horizon);
+  if (config.idle_deadline > 0) {
+    while (!cluster.all_idle() && cluster.sim().now() < config.idle_deadline) {
+      cluster.run_for(milliseconds(250));
+    }
+  }
+
+  ScenarioResult r;
+  r.idle = cluster.all_idle();
+  r.finished_at = cluster.sim().now();
+  r.state_hash = cluster.state_hash();
+  r.app_delivered = cluster.total_app_delivered();
+  r.recoveries = cluster.all_recoveries();
+  for (const ProcessId pid : cluster.pids()) {
+    auto& node = cluster.node(pid);
+    r.blocked.push_back(BlockedStat{pid, node.blocked_time(), node.blocked_episodes()});
+  }
+
+  const auto& m = cluster.metrics();
+  r.app_sent = m.counter_value("app.sent");
+  r.ctrl_msgs = m.counter_value("recovery.ctrl_msgs");
+  r.ctrl_bytes = m.counter_value("recovery.ctrl_bytes");
+  r.gather_restarts = m.counter_value("recovery.gather_restarts");
+  r.rounds = m.counter_value("recovery.rounds");
+  r.retransmits = m.counter_value("recovery.retransmits");
+  r.det_gaps = m.counter_value("recovery.det_gaps");
+  r.stale_rejected = m.counter_value("app.stale_rejected");
+  r.duplicates = m.counter_value("app.duplicates");
+  r.storage_reads = m.counter_value("storage.reads");
+  r.storage_writes = m.counter_value("storage.writes");
+  r.storage_bytes_read = m.counter_value("storage.bytes_read");
+  r.storage_bytes_written = m.counter_value("storage.bytes_written");
+  r.piggyback_dets = m.counter_value("fbl.piggyback_dets");
+  r.piggyback_bytes = m.counter_value("fbl.piggyback_bytes");
+
+  // Copy the registry's counters so the accessor outlives the cluster.
+  auto counters = std::make_shared<std::map<std::string, std::uint64_t>>();
+  for (const auto& name : m.counter_names()) (*counters)[name] = m.counter_value(name);
+  r.counter = [counters](const std::string& name) {
+    const auto it = counters->find(name);
+    return it == counters->end() ? 0ull : it->second;
+  };
+
+  if (inspect) inspect(cluster);
+  return r;
+}
+
+}  // namespace rr::harness

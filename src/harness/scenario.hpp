@@ -1,0 +1,90 @@
+// Scenario runner shared by benches, examples and integration tests.
+//
+// A scenario = cluster configuration + workload + crash schedule + horizon.
+// run_scenario() executes it deterministically and distills the metrics the
+// paper's evaluation talks about: per-recovery timelines (detect / restore
+// / gather / replay), live-process blocked time, and control-message
+// accounting split by recovery phase.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/application.hpp"
+#include "app/workloads.hpp"
+#include "runtime/cluster.hpp"
+
+namespace rr::harness {
+
+struct CrashEvent {
+  ProcessId pid;
+  Time at{0};
+};
+
+struct ScenarioConfig {
+  runtime::ClusterConfig cluster;
+  /// Workload; defaults to GossipApp if not set.
+  app::AppFactory factory;
+  std::vector<CrashEvent> crashes;
+  /// Minimum virtual time to simulate.
+  Time horizon = seconds(30);
+  /// Keep running past the horizon (in steps) until the cluster is idle,
+  /// up to this cap. 0 disables the extension.
+  Time idle_deadline = seconds(120);
+};
+
+struct BlockedStat {
+  ProcessId pid;
+  Duration blocked{0};
+  std::uint64_t episodes{0};
+};
+
+struct ScenarioResult {
+  bool idle{false};
+  Time finished_at{0};
+  std::uint64_t state_hash{0};
+  std::uint64_t app_delivered{0};
+  std::uint64_t app_sent{0};
+
+  std::vector<runtime::RecoveryTimeline> recoveries;
+  std::vector<BlockedStat> blocked;  // one per process
+
+  std::uint64_t ctrl_msgs{0};
+  std::uint64_t ctrl_bytes{0};
+  std::uint64_t gather_restarts{0};
+  std::uint64_t rounds{0};
+  std::uint64_t retransmits{0};
+  std::uint64_t det_gaps{0};
+  std::uint64_t stale_rejected{0};
+  std::uint64_t duplicates{0};
+
+  std::uint64_t storage_reads{0};
+  std::uint64_t storage_writes{0};
+  std::uint64_t storage_bytes_read{0};
+  std::uint64_t storage_bytes_written{0};
+
+  std::uint64_t piggyback_dets{0};
+  std::uint64_t piggyback_bytes{0};
+
+  /// Counter value by full name, for anything not broken out above.
+  std::function<std::uint64_t(const std::string&)> counter;
+
+  [[nodiscard]] Duration total_blocked() const;
+  [[nodiscard]] Duration max_blocked() const;
+  /// Mean blocked time over processes that never crashed in the scenario
+  /// (the paper reports "each live process blocked for about 50 ms").
+  [[nodiscard]] Duration mean_live_blocked(const std::vector<CrashEvent>& crashes) const;
+};
+
+/// Run to at least `horizon`, then (optionally) until idle. The Cluster is
+/// destroyed before returning; everything relevant is copied into the
+/// result. `inspect`, if given, runs against the live cluster at the end.
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const std::function<void(runtime::Cluster&)>& inspect = nullptr);
+
+/// Default workload for experiments: gossip with modest token count.
+[[nodiscard]] app::AppFactory default_factory();
+
+}  // namespace rr::harness

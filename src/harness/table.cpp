@@ -1,0 +1,65 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rr::harness {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  RR_CHECK(!columns_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  RR_CHECK_MSG(cells.size() == columns_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s;
+  }();
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(widths[i] - cells[i].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  os << "\n== " << title_ << " ==\n" << rule << "\n";
+  emit(columns_);
+  os << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+  os << rule << "\n";
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::ms(Duration d, int precision) {
+  return num(to_millis(d), precision) + " ms";
+}
+
+std::string Table::secs(Duration d, int precision) {
+  return num(to_seconds(d), precision) + " s";
+}
+
+}  // namespace rr::harness

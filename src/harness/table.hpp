@@ -1,0 +1,37 @@
+// Plain-text table output for experiment results.
+//
+// Every bench prints the rows the paper reports (or the sweep series our
+// ablations add) through this one formatter, so EXPERIMENTS.md and the
+// bench output stay visually comparable.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rr::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os = std::cout) const;
+
+  // Formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(std::uint64_t v);
+  [[nodiscard]] static std::string ms(Duration d, int precision = 2);
+  [[nodiscard]] static std::string secs(Duration d, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rr::harness

@@ -1,0 +1,147 @@
+// Primitive measurement types.
+//
+// The experiments in this repo measure three things over and over: how many
+// times something happened (Counter), a distribution of sampled values
+// (Accumulator) and how long processes spent in some state made of
+// non-overlapping open/close intervals (IntervalTracker — used for the
+// paper's headline "live-process blocked time" metric).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace rr::metrics {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Streaming count/sum/min/max; mean is derived.
+class Accumulator {
+ public:
+  void record(double v) noexcept {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  void record_duration(Duration d) noexcept { record(static_cast<double>(d)); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / count_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  void reset() noexcept { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t count_{0};
+  double sum_{0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Log-scale histogram for latency-like values: 64 power-of-two buckets
+/// (bucket i holds values in [2^i, 2^(i+1))), so nanosecond durations up to
+/// hours fit with ≤ 2x quantile error — plenty for "is this microseconds,
+/// milliseconds or seconds" questions, at eight bytes per bucket.
+class Histogram {
+ public:
+  void record(double v) noexcept {
+    ++count_;
+    sum_ += v;
+    ++buckets_[bucket_of(v)];
+  }
+  void record_duration(Duration d) noexcept { record(static_cast<double>(d)); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket holding quantile q (q in [0, 1]).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return upper_bound(i);
+    }
+    return upper_bound(kBuckets - 1);
+  }
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  void reset() noexcept { *this = Histogram{}; }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+
+  [[nodiscard]] static std::size_t bucket_of(double v) noexcept {
+    if (v < 1.0) return 0;
+    const auto n = static_cast<std::uint64_t>(v);
+    return static_cast<std::size_t>(63 - __builtin_clzll(n));
+  }
+  [[nodiscard]] static double upper_bound(std::size_t bucket) noexcept {
+    return bucket >= 63 ? static_cast<double>(~0ULL)
+                        : static_cast<double>(std::uint64_t{2} << bucket);
+  }
+
+  std::uint64_t count_{0};
+  double sum_{0};
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Accumulates total time spent inside begin()/end() intervals. Used to
+/// measure how long a live process was prevented from delivering
+/// application messages. begin() while already open is a no-op (nested
+/// blocking reasons collapse into one interval).
+class IntervalTracker {
+ public:
+  void begin(Time now) noexcept {
+    if (open_) return;
+    open_ = true;
+    opened_at_ = now;
+    ++episodes_;
+  }
+
+  void end(Time now) noexcept {
+    if (!open_) return;
+    RR_CHECK(now >= opened_at_);
+    total_ += now - opened_at_;
+    open_ = false;
+  }
+
+  [[nodiscard]] bool open() const noexcept { return open_; }
+  [[nodiscard]] std::uint64_t episodes() const noexcept { return episodes_; }
+
+  /// Total closed time; if an interval is open, includes time up to `now`.
+  [[nodiscard]] Duration total(Time now) const noexcept {
+    return open_ ? total_ + (now - opened_at_) : total_;
+  }
+  [[nodiscard]] Duration total_closed() const noexcept { return total_; }
+
+  void reset() noexcept { *this = IntervalTracker{}; }
+
+ private:
+  bool open_{false};
+  Time opened_at_{0};
+  Duration total_{0};
+  std::uint64_t episodes_{0};
+};
+
+}  // namespace rr::metrics

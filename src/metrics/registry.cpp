@@ -1,0 +1,77 @@
+#include "metrics/registry.hpp"
+
+#include <cstdio>
+
+namespace rr::metrics {
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Accumulator& Registry::accum(const std::string& name) { return accums_[name]; }
+
+Histogram& Registry::histogram(const std::string& name) { return histograms_[name]; }
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Accumulator* Registry::find_accum(const std::string& name) const {
+  const auto it = accums_.find(name);
+  return it == accums_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Registry::accum_names() const {
+  std::vector<std::string> out;
+  out.reserve(accums_.size());
+  for (const auto& [k, v] : accums_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [k, v] : histograms_) out.push_back(k);
+  return out;
+}
+
+void Registry::reset() {
+  counters_.clear();
+  accums_.clear();
+  histograms_.clear();
+}
+
+std::string Registry::dump() const {
+  std::string out;
+  char line[256];
+  for (const auto& [k, c] : counters_) {
+    std::snprintf(line, sizeof line, "%-48s %llu\n", k.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [k, a] : accums_) {
+    std::snprintf(line, sizeof line, "%-48s n=%llu mean=%.3f min=%.3f max=%.3f\n", k.c_str(),
+                  static_cast<unsigned long long>(a.count()), a.mean(), a.min(), a.max());
+    out += line;
+  }
+  for (const auto& [k, h] : histograms_) {
+    std::snprintf(line, sizeof line, "%-48s n=%llu mean=%.3f p50=%.0f p90=%.0f p99=%.0f\n",
+                  k.c_str(), static_cast<unsigned long long>(h.count()), h.mean(), h.p50(),
+                  h.p90(), h.p99());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rr::metrics

@@ -1,0 +1,48 @@
+// Named metric registry.
+//
+// Modules record into dotted names ("net.app.bytes", "recovery.gather.restarts").
+// The registry is the bridge between protocol code and the experiment
+// harness: benches read whichever names a scenario produced and print the
+// paper's tables from them. Names are created on first use; reads of a
+// never-written name return zero so table code stays branch-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/counters.hpp"
+
+namespace rr::metrics {
+
+class Registry {
+ public:
+  /// Counter cell for `name` (created zeroed on first use).
+  Counter& counter(const std::string& name);
+  /// Accumulator cell for `name` (created empty on first use).
+  Accumulator& accum(const std::string& name);
+  /// Histogram cell for `name` (created empty on first use).
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const Accumulator* find_accum(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Names in sorted order, for dump/diff in tests.
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> accum_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+  void reset();
+
+  /// Multi-line human-readable dump (sorted by name).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accums_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rr::metrics

@@ -1,0 +1,104 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rr::net {
+
+namespace {
+
+std::uint64_t channel_key(ProcessId src, ProcessId dst) {
+  return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim, NetworkConfig config, metrics::Registry& metrics)
+    : sim_(sim), config_(config), metrics_(metrics), rng_(sim.rng().fork("net")) {
+  RR_CHECK(config_.base_latency >= 0);
+  RR_CHECK(config_.bytes_per_second > 0);
+  RR_CHECK(config_.jitter_max >= 0);
+}
+
+void Network::attach(ProcessId id, Endpoint& endpoint) {
+  auto& st = endpoints_[id];
+  RR_CHECK_MSG(st.endpoint == nullptr, "endpoint already attached");
+  st.endpoint = &endpoint;
+  st.up = true;
+}
+
+void Network::detach(ProcessId id) { endpoints_.erase(id); }
+
+void Network::set_up(ProcessId id, bool up) {
+  const auto it = endpoints_.find(id);
+  RR_CHECK_MSG(it != endpoints_.end(), "unknown endpoint");
+  it->second.up = up;
+}
+
+bool Network::is_up(ProcessId id) const {
+  const auto it = endpoints_.find(id);
+  return it != endpoints_.end() && it->second.up;
+}
+
+Duration Network::transit_time(std::size_t bytes) {
+  const auto serialization =
+      static_cast<Duration>(static_cast<double>(bytes) / config_.bytes_per_second * 1e9);
+  const Duration jitter =
+      config_.jitter_max > 0 ? static_cast<Duration>(rng_.bounded(
+                                   static_cast<std::uint64_t>(config_.jitter_max) + 1))
+                             : 0;
+  return config_.base_latency + serialization + jitter;
+}
+
+std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
+  const auto src_it = endpoints_.find(src);
+  if (src_it == endpoints_.end() || !src_it->second.up) {
+    metrics_.counter("net.dropped_at_send").add();
+    return 0;
+  }
+  RR_CHECK_MSG(endpoints_.contains(dst), "send to unknown endpoint");
+
+  const std::size_t bytes = payload.size() + kHeaderBytes;
+  metrics_.counter("net.packets").add();
+  metrics_.counter("net.bytes").add(bytes);
+
+  // FIFO: never deliver earlier than the previous packet on this channel.
+  const auto key = channel_key(src, dst);
+  Time deliver_at = sim_.now() + transit_time(bytes);
+  auto& horizon = channel_horizon_[key];
+  deliver_at = std::max(deliver_at, horizon + config_.fifo_spacing);
+  horizon = deliver_at;
+
+  sim_.schedule_at(deliver_at, [this, src, dst, payload = std::move(payload)]() mutable {
+    const auto it = endpoints_.find(dst);
+    if (it == endpoints_.end() || !it->second.up) {
+      // Receiver crashed (or was removed) while the packet was in flight.
+      metrics_.counter("net.dropped_at_delivery").add();
+      RR_TRACE("net", "drop in-flight %s -> %s (down)", to_string(src).c_str(),
+               to_string(dst).c_str());
+      return;
+    }
+    it->second.endpoint->deliver(src, std::move(payload));
+  });
+  return bytes;
+}
+
+void Network::broadcast(ProcessId src, const Bytes& payload) {
+  // Deterministic fan-out order: sorted destination ids.
+  std::vector<ProcessId> dsts = attached();
+  for (const ProcessId dst : dsts) {
+    if (dst != src) send(src, dst, payload);
+  }
+}
+
+std::vector<ProcessId> Network::attached() const {
+  std::vector<ProcessId> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [id, st] : endpoints_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rr::net

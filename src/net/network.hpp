@@ -1,0 +1,97 @@
+// Simulated message-passing fabric.
+//
+// Point-to-point, reliable-unless-crashed, FIFO per (src, dst) channel —
+// the TCP-over-ATM transport of the paper's testbed. Latency for a packet
+// is base + size/bandwidth + jitter, with per-channel monotonic delivery
+// enforcement so jitter never reorders a channel.
+//
+// Crash semantics: a *down* endpoint neither sends nor receives; packets
+// already in flight toward a host that goes down are dropped at delivery
+// time (the rebooted process must not see pre-crash traffic for free —
+// whatever it needs it must recover via the protocol). Packets in flight
+// *from* a host that goes down still arrive: the network keeps no
+// affiliation between a packet and the fate of its sender, which is exactly
+// what creates the stale-message hazard the recovery algorithm's incvector
+// mechanism exists to close.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "metrics/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::net {
+
+/// Delivery callback target, implemented by the node runtime.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called in virtual time when a packet arrives. `payload` is owned.
+  virtual void deliver(ProcessId src, Bytes payload) = 0;
+};
+
+struct NetworkConfig {
+  /// Fixed one-way propagation + protocol-stack latency per packet.
+  Duration base_latency = microseconds(250);
+  /// Link bandwidth; 155 Mb/s ATM ≈ 19.4 MB/s.
+  double bytes_per_second = 155e6 / 8.0;
+  /// Uniform extra delay in [0, jitter_max] (0 disables jitter).
+  Duration jitter_max = microseconds(50);
+  /// Minimum spacing between consecutive deliveries on one channel.
+  Duration fifo_spacing = nanoseconds(1);
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkConfig config, metrics::Registry& metrics);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register the delivery target for `id`. Endpoint must outlive the
+  /// network or detach first. Newly attached endpoints start *up*.
+  void attach(ProcessId id, Endpoint& endpoint);
+  void detach(ProcessId id);
+
+  /// Crash/restart switch. While down, sends from and deliveries to `id`
+  /// are dropped.
+  void set_up(ProcessId id, bool up);
+  [[nodiscard]] bool is_up(ProcessId id) const;
+
+  /// Enqueue a packet. Returns the number of bytes charged (payload +
+  /// per-packet header overhead), or 0 if it was dropped at send time.
+  std::size_t send(ProcessId src, ProcessId dst, Bytes payload);
+
+  /// send() to every attached endpoint except `src`.
+  void broadcast(ProcessId src, const Bytes& payload);
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::vector<ProcessId> attached() const;
+
+  /// Bytes of framing charged per packet on top of the payload.
+  static constexpr std::size_t kHeaderBytes = 32;
+
+ private:
+  struct EndpointState {
+    Endpoint* endpoint{nullptr};
+    bool up{true};
+  };
+
+  [[nodiscard]] Duration transit_time(std::size_t bytes);
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  metrics::Registry& metrics_;
+  Rng rng_;
+  std::unordered_map<ProcessId, EndpointState> endpoints_;
+  /// Per-channel monotonic delivery horizon for FIFO enforcement.
+  std::unordered_map<std::uint64_t, Time> channel_horizon_;
+};
+
+}  // namespace rr::net

@@ -1,0 +1,106 @@
+// Output commit — releasing state to the outside world safely.
+//
+// A message-logging system may only release an external output (print,
+// actuate, reply to a client) when the state that produced it is
+// recoverable: every determinant in the process's causal past must survive
+// any f failures, or a crash could roll the process back behind the output
+// it already showed the world. Manetho made "fast output commit" a
+// headline feature; in FBL terms the commit barrier is simply "all known
+// determinants at f+1 holders or on stable storage".
+//
+// The manager queues outputs in order and releases each once its barrier
+// (a snapshot of the then-unstable determinants) clears. Two stabilization
+// paths, by instance:
+//   f < n : push the barrier determinants to enough peers to reach f+1
+//           holders and wait for acknowledgements (DetPush / DetAck) —
+//           unlike the failure-free piggyback path, output commit must not
+//           count an unacknowledged recipient;
+//   f = n : force the asynchronous stable-storage flush and wait for it.
+// A retry timer re-drives stabilization if a pushed-to peer crashes.
+//
+// Pending outputs are volatile: a crash before release discards them,
+// which is exactly the correct external semantics (the world never saw
+// them, and the recovered execution will regenerate them).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "fbl/determinant_log.hpp"
+#include "metrics/registry.hpp"
+#include "recovery/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::recovery {
+
+class OutputCommitManager {
+ public:
+  struct Hooks {
+    std::function<void(ProcessId, const ControlMessage&)> send_ctrl;
+    /// The process's current determinant log (barrier source of truth).
+    std::function<const fbl::DeterminantLog&()> det_log;
+    /// Confirm holders after an acknowledged push.
+    std::function<void(const fbl::Determinant&, fbl::HolderMask)> add_holders;
+    /// Push candidates (all processes except self, sorted).
+    std::function<std::vector<ProcessId>()> peers;
+    std::function<bool(ProcessId)> is_suspected;
+    /// f = n path: force the stable determinant flush.
+    std::function<void()> force_flush;
+    /// Deliver the output to the external world.
+    std::function<void(std::uint64_t id, const Bytes& payload)> release;
+  };
+
+  OutputCommitManager(sim::Simulator& sim, ProcessId self, std::uint32_t f,
+                      bool stable_instance, Hooks hooks, metrics::Registry& metrics);
+
+  /// Queue an output; returns its id. Released (in order) once every
+  /// determinant known at commit time is recoverable.
+  std::uint64_t commit(Bytes payload);
+
+  /// A pushed peer acknowledged: its copies are confirmed.
+  void on_ack(ProcessId from, const DetAck& ack);
+
+  /// Holder knowledge changed (flush completed, piggyback returns, …);
+  /// re-evaluate the queue.
+  void on_stability_changed() { pump(); }
+
+  /// Crash: drop everything volatile (pending outputs die unreleased).
+  void reset();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id{0};
+    Bytes payload;
+    std::vector<fbl::Determinant> barrier;
+    Time committed_at{0};
+  };
+
+  [[nodiscard]] bool satisfied(const fbl::Determinant& det) const;
+  void pump();
+  void stabilize();
+
+  sim::Simulator& sim_;
+  ProcessId self_;
+  std::uint32_t f_;
+  bool stable_instance_;
+  Hooks hooks_;
+  metrics::Registry& metrics_;
+
+  std::uint64_t next_id_{1};
+  std::uint64_t next_push_seq_{1};
+  std::uint64_t released_{0};
+  std::deque<Pending> queue_;
+  /// push seq -> (peer, determinants awaiting its ack)
+  std::map<std::uint64_t, std::pair<ProcessId, std::vector<fbl::Determinant>>> pushes_;
+  sim::RepeatingTimer retry_;
+};
+
+}  // namespace rr::recovery

@@ -1,0 +1,372 @@
+#include "recovery/recovery_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rr::recovery {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kNonBlocking: return "non-blocking";
+    case Algorithm::kBlocking: return "blocking";
+    case Algorithm::kDeferUnsafe: return "defer-unsafe";
+  }
+  return "?";
+}
+
+RecoveryManager::RecoveryManager(sim::Simulator& sim, ProcessId self, ProcessId ord_service,
+                                 RecoveryConfig config, Hooks hooks,
+                                 metrics::Registry& metrics)
+    : sim_(sim),
+      self_(self),
+      ord_service_(ord_service),
+      config_(config),
+      hooks_(std::move(hooks)),
+      metrics_(metrics),
+      progress_timer_(sim, config.progress_period, [this] { progress_tick(); }) {
+  RR_CHECK(hooks_.send_ctrl && hooks_.broadcast_ctrl && hooks_.my_incarnation &&
+           hooks_.all_processes && hooks_.is_suspected && hooks_.depinfo_slice &&
+           hooks_.marks_for && hooks_.set_delivery_blocked && hooks_.set_defer_unsafe &&
+           hooks_.sync_log_then_send && hooks_.install && hooks_.peer_recovered);
+}
+
+void RecoveryManager::reset_for_restart() {
+  progress_timer_.stop();
+  incvector_.clear();
+  blocked_on_.clear();
+  defer_on_.clear();
+  recovering_ = false;
+  ord_requested_ = false;
+  installed_ = false;
+  ord_ = 0;
+  round_.reset();
+  covered_.clear();
+}
+
+void RecoveryManager::begin_recovery() {
+  RR_CHECK(!recovering_);
+  recovering_ = true;
+  installed_ = false;
+  ord_ = 0;
+  // Own floor: everyone must reject our previous incarnation's frames.
+  fbl::raise_incarnation(incvector_, self_, hooks_.my_incarnation());
+  RR_CHECK_MSG(!ord_requested_, "ord must be acquired exactly once per incarnation");
+  ord_requested_ = true;
+  send(ord_service_, OrdRequest{hooks_.my_incarnation()});
+  progress_timer_.start();
+  metrics_.counter("recovery.started").add();
+}
+
+void RecoveryManager::on_replay_complete() {
+  RR_CHECK(recovering_);
+  recovering_ = false;
+  installed_ = false;
+  round_.reset();
+  progress_timer_.stop();
+  metrics_.counter("recovery.completed").add();
+  // Built by the node from the logging engine (post-replay watermarks).
+  // RecoveryComplete retires us at the ord service, raises everyone's
+  // incvector floor for us, and triggers retransmission of what we missed.
+}
+
+void RecoveryManager::on_control(ProcessId src, const ControlMessage& m) {
+  if (const auto* reply = std::get_if<OrdReply>(&m)) {
+    if (recovering_ && ord_ == 0) {
+      ord_ = reply->ord;
+      RR_DEBUG("recov", "%s acquired ord %llu", to_string(self_).c_str(),
+               static_cast<unsigned long long>(ord_));
+      evaluate_leadership(reply->rset);
+    }
+  } else if (const auto* reply = std::get_if<RSetReply>(&m)) {
+    if (round_ && round_->phase == Phase::kRefreshR) {
+      on_rset(reply->rset);
+    } else if (round_) {
+      // Mid-gather R refresh: a process we are waiting on has crashed and
+      // re-registered as recovering — it will never answer this round.
+      // This is the paper's "if a live process fails before replying,
+      // restart the gathering" trigger, caught at registration time (the
+      // failure detector alone can miss it when the process restores and
+      // resumes heartbeating before the suspicion timeout).
+      for (const auto& member : reply->rset) {
+        const bool awaited = round_->expect_inc.contains(member.pid) ||
+                             round_->expect_dep.contains(member.pid);
+        if (awaited && !covered_.contains({member.pid, member.inc})) {
+          restart_round("gather target re-registered as recovering");
+          return;
+        }
+      }
+    } else if (recovering_) {
+      evaluate_leadership(reply->rset);
+    }
+  } else if (std::holds_alternative<IncRequest>(m)) {
+    // Answer in any state: if we already completed, our current incarnation
+    // is exactly what the leader should put in its incvector.
+    send(src, IncReply{std::get<IncRequest>(m).round, hooks_.my_incarnation()});
+  } else if (const auto* reply = std::get_if<IncReply>(&m)) {
+    if (round_ && round_->phase == Phase::kGatherInc && reply->round == round_->id &&
+        round_->expect_inc.erase(src) > 0) {
+      round_->got_inc[src] = reply->inc;
+      if (round_->expect_inc.empty()) begin_gather_dep();
+    }
+  } else if (const auto* req = std::get_if<DepRequest>(&m)) {
+    handle_dep_request(src, *req);
+  } else if (const auto* reply = std::get_if<DepReply>(&m)) {
+    if (round_ && round_->phase == Phase::kGatherDep && reply->round == round_->id &&
+        round_->expect_dep.erase(src) > 0) {
+      for (const auto& h : reply->dets) round_->gathered.record(h);
+      round_->live_marks[src] = reply->marks_for_r;
+      if (round_->expect_dep.empty()) finish_round();
+    }
+  } else if (const auto* install = std::get_if<DepInstall>(&m)) {
+    if (recovering_) {
+      fbl::merge_max(incvector_, install->incvector);
+      installed_ = true;
+      metrics_.counter("recovery.installs_received").add();
+      hooks_.install(*install);
+    }
+  } else if (const auto* done = std::get_if<RecoveryComplete>(&m)) {
+    handle_recovery_complete(src, *done);
+  }
+  // OrdRequest / RSetRequest are for the ord service; ReplayRequest /
+  // ReplayData are handled by the node (they touch the send log / replay
+  // engine directly).
+}
+
+void RecoveryManager::evaluate_leadership(const std::vector<RMember>& rset) {
+  if (!recovering_ || ord_ == 0) return;
+  // Leader = lowest unfinished ordinal whose process is not suspected
+  // (paper: "the next process in ordinal number becomes a recovery leader").
+  const RMember* leader = nullptr;
+  bool covered_all = true;
+  for (const auto& member : rset) {
+    if (leader == nullptr && (member.pid == self_ || !hooks_.is_suspected(member.pid))) {
+      leader = &member;
+    }
+    if (!covered_.contains({member.pid, member.inc})) covered_all = false;
+  }
+  if (leader == nullptr || leader->pid != self_) {
+    // Someone else leads; if we were mid-round (e.g. a lower-ord member
+    // resurfaced), stand down — installs merge, so duplicated leadership is
+    // safe but wasteful.
+    if (round_) {
+      RR_DEBUG("recov", "%s stands down as leader", to_string(self_).c_str());
+      round_.reset();
+    }
+    return;
+  }
+  if (round_) return;          // already leading a round
+  if (covered_all) return;     // nothing new to recover
+  start_round();
+}
+
+void RecoveryManager::start_round() {
+  Round r;
+  r.id = next_round_id_++;
+  r.phase = Phase::kRefreshR;
+  r.phase_started = sim_.now();
+  round_ = std::move(r);
+  metrics_.counter("recovery.rounds").add();
+  RR_DEBUG("recov", "%s leads round %llu", to_string(self_).c_str(),
+           static_cast<unsigned long long>(round_->id));
+  send(ord_service_, RSetRequest{});
+}
+
+void RecoveryManager::restart_round(const char* why) {
+  RR_CHECK(round_);
+  metrics_.counter("recovery.gather_restarts").add();
+  RR_INFO("recov", "%s restarts gather round %llu (%s)", to_string(self_).c_str(),
+          static_cast<unsigned long long>(round_->id), why);
+  round_.reset();
+  start_round();
+}
+
+void RecoveryManager::on_rset(const std::vector<RMember>& rset) {
+  RR_CHECK(round_ && round_->phase == Phase::kRefreshR);
+  // Abandon if our registration vanished (we completed concurrently) or a
+  // lower-ord live member should lead instead.
+  bool self_in = false;
+  for (const auto& m : rset) {
+    if (m.pid == self_) self_in = true;
+  }
+  if (!self_in) {
+    round_.reset();
+    return;
+  }
+  round_->rset = rset;
+  for (const auto& m : rset) {
+    if (m.ord < ord_ && !hooks_.is_suspected(m.pid)) {
+      RR_DEBUG("recov", "%s defers to lower ord %llu (%s)", to_string(self_).c_str(),
+               static_cast<unsigned long long>(m.ord), to_string(m.pid).c_str());
+      round_.reset();
+      return;
+    }
+  }
+  if (config_.algorithm == Algorithm::kNonBlocking) {
+    begin_gather_inc();
+  } else {
+    // The comparators skip the incarnation round (fewer messages); the
+    // registry-reported incarnations fill the install's incvector.
+    begin_gather_dep();
+  }
+}
+
+void RecoveryManager::begin_gather_inc() {
+  RR_CHECK(round_);
+  round_->phase = Phase::kGatherInc;
+  round_->phase_started = sim_.now();
+  round_->expect_inc.clear();
+  round_->got_inc.clear();
+  for (const auto& m : round_->rset) {
+    if (m.pid == self_) continue;
+    round_->expect_inc.insert(m.pid);
+    send(m.pid, IncRequest{round_->id});
+  }
+  if (round_->expect_inc.empty()) begin_gather_dep();
+}
+
+fbl::IncVector RecoveryManager::build_incvector() const {
+  RR_CHECK(round_);
+  fbl::IncVector v = incvector_;
+  for (const auto& m : round_->rset) fbl::raise_incarnation(v, m.pid, m.inc);
+  for (const auto& [pid, inc] : round_->got_inc) fbl::raise_incarnation(v, pid, inc);
+  fbl::raise_incarnation(v, self_, hooks_.my_incarnation());
+  return v;
+}
+
+void RecoveryManager::begin_gather_dep() {
+  RR_CHECK(round_);
+  round_->phase = Phase::kGatherDep;
+  round_->phase_started = sim_.now();
+  round_->expect_dep.clear();
+  round_->gathered.clear();
+  round_->live_marks.clear();
+
+  std::set<ProcessId> recovering_pids;
+  std::vector<ProcessId> rset_pids;
+  for (const auto& m : round_->rset) {
+    recovering_pids.insert(m.pid);
+    rset_pids.push_back(m.pid);
+  }
+
+  DepRequest req;
+  req.round = round_->id;
+  req.block = config_.algorithm == Algorithm::kBlocking;
+  req.defer = config_.algorithm == Algorithm::kDeferUnsafe;
+  // The blocking baseline relies on stillness for safety; both running
+  // comparators need the incvector floor to reject stale messages.
+  if (!req.block) req.incvector = build_incvector();
+  req.recovering = rset_pids;
+
+  for (const ProcessId pid : hooks_.all_processes()) {
+    if (pid == self_ || recovering_pids.contains(pid)) continue;
+    round_->expect_dep.insert(pid);
+    send(pid, req);
+  }
+
+  // The leader's own restored knowledge (checkpointed determinant log,
+  // receive watermarks) joins the gather for free.
+  for (const auto& h : hooks_.depinfo_slice(rset_pids)) round_->gathered.record(h);
+  round_->live_marks[self_] = hooks_.marks_for(rset_pids);
+
+  if (round_->expect_dep.empty()) finish_round();
+}
+
+void RecoveryManager::finish_round() {
+  RR_CHECK(round_);
+  DepInstall install;
+  install.round = round_->id;
+  install.incvector = build_incvector();
+  install.dets = round_->gathered.slice_for(~fbl::HolderMask{0});
+  install.live_marks = round_->live_marks;
+
+  for (const auto& m : round_->rset) {
+    covered_.insert({m.pid, m.inc});
+    if (m.pid == self_) continue;
+    send(m.pid, install);
+  }
+  metrics_.counter("recovery.installs_sent").add();
+
+  // Self-install.
+  fbl::merge_max(incvector_, install.incvector);
+  installed_ = true;
+  round_.reset();
+  hooks_.install(install);
+}
+
+void RecoveryManager::progress_tick() {
+  if (!recovering_) return;
+  if (round_) {
+    if (sim_.now() - round_->phase_started > config_.phase_timeout) {
+      restart_round("phase timeout");
+      return;
+    }
+    // Watch for gather targets that crashed into R mid-round (see the
+    // RSetReply handler). Skip while the round is itself refreshing R.
+    if (round_->phase != Phase::kRefreshR) send(ord_service_, RSetRequest{});
+    return;
+  }
+  if (ord_ == 0) return;  // OrdReply still in flight (reliable network)
+  // Member leader-watch / new-failure watch: refresh R and re-evaluate.
+  send(ord_service_, RSetRequest{});
+}
+
+void RecoveryManager::handle_dep_request(ProcessId leader, const DepRequest& req) {
+  fbl::merge_max(incvector_, req.incvector);
+  if (req.block && !recovering_) {
+    for (const ProcessId pid : req.recovering) blocked_on_.insert(pid);
+    hooks_.set_delivery_blocked(true);
+  }
+  if (req.defer && !recovering_) {
+    for (const ProcessId pid : req.recovering) defer_on_.insert(pid);
+    hooks_.set_defer_unsafe(defer_on_);
+  }
+  DepReply reply;
+  reply.round = req.round;
+  reply.dets = hooks_.depinfo_slice(req.recovering);
+  reply.marks_for_r = hooks_.marks_for(req.recovering);
+  if (req.defer) {
+    // Manetho-style: the reply must survive our own crash before the
+    // recovering process can depend on it — synchronous stable write.
+    hooks_.sync_log_then_send(leader, reply);
+  } else {
+    send(leader, reply);
+  }
+}
+
+void RecoveryManager::handle_recovery_complete(ProcessId peer, const RecoveryComplete& m) {
+  fbl::raise_incarnation(incvector_, peer, m.inc);
+  if (!blocked_on_.empty()) {
+    blocked_on_.erase(peer);
+    if (blocked_on_.empty()) hooks_.set_delivery_blocked(false);
+  }
+  if (!defer_on_.empty()) {
+    defer_on_.erase(peer);
+    hooks_.set_defer_unsafe(defer_on_);
+  }
+  hooks_.peer_recovered(peer, m);
+}
+
+void RecoveryManager::on_suspicion(ProcessId peer, bool suspected) {
+  if (!suspected) return;
+  if (round_) {
+    const bool awaiting =
+        (round_->phase == Phase::kGatherInc && round_->expect_inc.contains(peer)) ||
+        (round_->phase == Phase::kGatherDep && round_->expect_dep.contains(peer));
+    if (awaiting) restart_round("target suspected");
+    return;
+  }
+  if (recovering_ && ord_ != 0 && !installed_) {
+    // Our leader may be the suspect; refresh R now instead of waiting for
+    // the next tick.
+    send(ord_service_, RSetRequest{});
+  }
+}
+
+void RecoveryManager::send(ProcessId to, const ControlMessage& m) { hooks_.send_ctrl(to, m); }
+
+void RecoveryManager::broadcast(const ControlMessage& m) { hooks_.broadcast_ctrl(m); }
+
+}  // namespace rr::recovery

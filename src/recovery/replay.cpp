@@ -1,0 +1,149 @@
+#include "recovery/replay.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rr::recovery {
+
+ReplayEngine::ReplayEngine(sim::Simulator& sim, ProcessId self, Duration per_delivery,
+                           Hooks hooks)
+    : sim_(sim), self_(self), per_delivery_(per_delivery), hooks_(std::move(hooks)) {
+  RR_CHECK(per_delivery_ >= 0);
+  RR_CHECK(hooks_.deliver != nullptr);
+  RR_CHECK(hooks_.request_payloads != nullptr);
+  RR_CHECK(hooks_.on_complete != nullptr);
+}
+
+void ReplayEngine::install(const std::vector<fbl::HeldDeterminant>& dets, Rsn current_rsn,
+                           const std::set<ProcessId>& recovering_sources) {
+  if (!installed_) {
+    installed_ = true;
+    next_rsn_ = current_rsn + 1;
+  }
+  for (const auto& h : dets) {
+    if (h.det.dest != self_ || h.det.rsn < next_rsn_) continue;
+    auto [it, inserted] = pending_.try_emplace(h.det.rsn, h);
+    if (!inserted) {
+      RR_CHECK_MSG(it->second.det == h.det, "conflicting determinants in install");
+      it->second.holders |= h.holders;
+    } else {
+      pending_index_[{h.det.source, h.det.ssn}] = h.det.rsn;
+    }
+  }
+
+  // Truncate at the first rsn gap: everything past it belongs to an
+  // execution prefix we cannot reproduce (only possible past f failures).
+  Rsn expect = next_rsn_;
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == expect) {
+    ++it;
+    ++expect;
+  }
+  if (it != pending_.end()) {
+    ++gaps_;
+    RR_WARN("replay", "%s: receipt-order gap at rsn %llu — truncating %zu determinants",
+            to_string(self_).c_str(), static_cast<unsigned long long>(expect),
+            static_cast<std::size_t>(std::distance(it, pending_.end())));
+    for (auto cut = it; cut != pending_.end(); ++cut) {
+      pending_index_.erase({cut->second.det.source, cut->second.det.ssn});
+    }
+    pending_.erase(it, pending_.end());
+  }
+
+  request_missing(recovering_sources);
+  pump();
+  maybe_complete();
+}
+
+void ReplayEngine::request_missing(const std::set<ProcessId>& recovering_sources) {
+  std::map<ProcessId, std::vector<Ssn>> wanted;
+  for (const auto& [rsn, h] : pending_) {
+    const std::pair<ProcessId, Ssn> key{h.det.source, h.det.ssn};
+    if (payloads_.contains(key) || requested_.contains(key)) continue;
+    if (recovering_sources.contains(h.det.source)) continue;  // will regenerate
+    wanted[h.det.source].push_back(h.det.ssn);
+    requested_.insert(key);
+  }
+  for (auto& [source, ssns] : wanted) hooks_.request_payloads(source, std::move(ssns));
+}
+
+void ReplayEngine::offer(ProcessId source, Ssn ssn, Bytes payload) {
+  if (!needs(source, ssn)) return;
+  payloads_.try_emplace(std::pair{source, ssn}, std::move(payload));
+  pump();
+}
+
+void ReplayEngine::on_source_recovered(ProcessId source) {
+  if (!installed_ || complete()) return;
+  // Anything still pending from this source sits in its restored send log;
+  // it will not be regenerated (it predates the source's checkpoint), so
+  // ask for it explicitly now that the source can answer again.
+  std::vector<Ssn> ssns;
+  for (const auto& [rsn, h] : pending_) {
+    const std::pair<ProcessId, Ssn> key{h.det.source, h.det.ssn};
+    if (h.det.source == source && !payloads_.contains(key)) {
+      ssns.push_back(h.det.ssn);
+      requested_.insert(key);
+    }
+  }
+  if (!ssns.empty()) hooks_.request_payloads(source, std::move(ssns));
+}
+
+bool ReplayEngine::needs(ProcessId source, Ssn ssn) const {
+  return pending_index_.contains({source, ssn});
+}
+
+void ReplayEngine::pump() {
+  if (!installed_ || delivering_.valid() || pending_.empty()) return;
+  const auto& front = pending_.begin()->second;
+  if (!payloads_.contains(std::pair{front.det.source, front.det.ssn})) return;  // wait
+  // One virtual-time slot of re-execution CPU per replayed message.
+  delivering_ = sim_.schedule_after(per_delivery_, [this] { deliver_front(); });
+}
+
+void ReplayEngine::deliver_front() {
+  delivering_ = sim::kNoEvent;
+  if (pending_.empty()) return;
+  const auto it = pending_.begin();
+  RR_CHECK(it->first == next_rsn_);
+  const auto key = std::pair{it->second.det.source, it->second.det.ssn};
+  const auto pay = payloads_.find(key);
+  RR_CHECK(pay != payloads_.end());
+  const fbl::HeldDeterminant h = it->second;
+  const Bytes payload = std::move(pay->second);
+  payloads_.erase(pay);
+  pending_index_.erase(key);
+  pending_.erase(it);
+  ++next_rsn_;
+  ++delivered_;
+  hooks_.deliver(h, payload);
+  pump();
+  maybe_complete();
+}
+
+void ReplayEngine::maybe_complete() {
+  if (installed_ && pending_.empty() && !completed_signalled_) {
+    completed_signalled_ = true;
+    hooks_.on_complete();
+  }
+}
+
+void ReplayEngine::reset() {
+  if (delivering_.valid()) {
+    sim_.cancel(delivering_);
+    delivering_ = sim::kNoEvent;
+  }
+  installed_ = false;
+  completed_signalled_ = false;
+  next_rsn_ = 0;
+  delivered_ = 0;
+  gaps_ = 0;
+  pending_.clear();
+  pending_index_.clear();
+  payloads_.clear();
+  requested_.clear();
+}
+
+}  // namespace rr::recovery

@@ -1,0 +1,114 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace rr::runtime {
+
+Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
+    : config_(config),
+      sim_(config.seed),
+      network_(sim_, config.net, metrics_),
+      ord_(kOrdServiceId, network_, metrics_) {
+  RR_CHECK_MSG(config_.num_processes >= 2, "need at least two processes");
+  RR_CHECK_MSG(config_.num_processes <= fbl::kMaxProcesses,
+               "holder masks support at most 63 processes");
+  RR_CHECK_MSG(config_.f >= 1 && config_.f <= config_.num_processes, "1 <= f <= n required");
+
+  network_.attach(kOrdServiceId, ord_);
+  if (config_.enable_trace) trace_ = std::make_unique<trace::TraceLog>();
+
+  pids_.reserve(config_.num_processes);
+  for (std::uint32_t i = 0; i < config_.num_processes; ++i) pids_.push_back(ProcessId{i});
+
+  config_.recovery.algorithm = config_.algorithm;
+  for (const ProcessId pid : pids_) {
+    NodeConfig nc;
+    nc.id = pid;
+    nc.num_processes = config_.num_processes;
+    nc.f = config_.f;
+    nc.ord_service = kOrdServiceId;
+    nc.recovery = config_.recovery;
+    nc.detector = config_.detector;
+    nc.storage = config_.storage;
+    nc.checkpoint_period = config_.checkpoint_period;
+    nc.supervisor_restart_delay = config_.supervisor_restart_delay;
+    nc.replay_delivery_cost = config_.replay_delivery_cost;
+    nc.det_flush_period = config_.det_flush_period;
+    nc.trace = trace_.get();
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, network_, nc, factory(pid), pids_, metrics_));
+  }
+}
+
+void Cluster::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+Node& Cluster::node(ProcessId id) {
+  RR_CHECK(id.value < nodes_.size());
+  return *nodes_[id.value];
+}
+
+void Cluster::crash_at(ProcessId id, Time t) {
+  RR_CHECK(id.value < nodes_.size());
+  sim_.schedule_at(t, [this, id] { nodes_[id.value]->crash(); });
+}
+
+bool Cluster::all_idle() const {
+  return std::all_of(nodes_.begin(), nodes_.end(), [](const auto& n) {
+    return n->alive() && n->started() && !n->recovering() && !n->delivery_blocked();
+  });
+}
+
+bool Cluster::any_recovering() const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [](const auto& n) { return !n->alive() || n->recovering(); });
+}
+
+Duration Cluster::total_blocked_time() const {
+  Duration total = 0;
+  for (const auto& n : nodes_) total += n->blocked_time();
+  return total;
+}
+
+Duration Cluster::max_blocked_time() const {
+  Duration best = 0;
+  for (const auto& n : nodes_) best = std::max(best, n->blocked_time());
+  return best;
+}
+
+std::vector<RecoveryTimeline> Cluster::all_recoveries() const {
+  std::vector<RecoveryTimeline> out;
+  for (const auto& n : nodes_) {
+    out.insert(out.end(), n->recoveries().begin(), n->recoveries().end());
+  }
+  std::sort(out.begin(), out.end(), [](const RecoveryTimeline& a, const RecoveryTimeline& b) {
+    return a.completed_at < b.completed_at;
+  });
+  return out;
+}
+
+std::uint64_t Cluster::state_hash() const {
+  Hasher h;
+  for (const auto& n : nodes_) {
+    h.mix_u64(n->id().value);
+    h.mix_u64(n->application().state_hash());
+  }
+  return h.digest();
+}
+
+trace::CheckResult Cluster::check_history() const {
+  RR_CHECK_MSG(trace_ != nullptr, "enable_trace must be set to check history");
+  return trace::check_history(*trace_);
+}
+
+std::uint64_t Cluster::total_app_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->app_delivered();
+  return total;
+}
+
+}  // namespace rr::runtime

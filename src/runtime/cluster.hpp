@@ -1,0 +1,117 @@
+// Cluster — builds and drives a whole simulated system.
+//
+// Owns the simulator, the network, the never-failing ord service and one
+// Node per process; provides failure injection and the query surface the
+// tests and benches use (blocked time, recovery timelines, combined state
+// hashes). Everything is deterministic in (config, seed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/application.hpp"
+#include "common/types.hpp"
+#include "detect/failure_detector.hpp"
+#include "metrics/registry.hpp"
+#include "net/network.hpp"
+#include "recovery/ord_service.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "runtime/node.hpp"
+#include "sim/simulator.hpp"
+#include "storage/stable_storage.hpp"
+#include "trace/history_checker.hpp"
+#include "trace/trace.hpp"
+
+namespace rr::runtime {
+
+struct ClusterConfig {
+  std::uint32_t num_processes{8};
+  /// Failures to tolerate (FBL parameter); f == num_processes selects the
+  /// stable-storage (Manetho-style) instance.
+  std::uint32_t f{2};
+  recovery::Algorithm algorithm{recovery::Algorithm::kNonBlocking};
+  std::uint64_t seed{1};
+
+  net::NetworkConfig net;
+  storage::StorageConfig storage;
+  detect::DetectorConfig detector;
+  recovery::RecoveryConfig recovery;  // .algorithm is overridden by `algorithm`
+
+  Duration checkpoint_period = seconds(10);
+  Duration supervisor_restart_delay = seconds(2);
+  Duration replay_delivery_cost = microseconds(50);
+  Duration det_flush_period = milliseconds(250);
+  /// Record a structured protocol trace (memory ∝ traffic; off by default).
+  bool enable_trace{false};
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, const app::AppFactory& factory);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Boot every node (asynchronous; run the simulation to complete it).
+  void start();
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] metrics::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const metrics::Registry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] Node& node(ProcessId id);
+  [[nodiscard]] Node& node(std::uint32_t index) { return node(ProcessId{index}); }
+  [[nodiscard]] const std::vector<ProcessId>& pids() const noexcept { return pids_; }
+  [[nodiscard]] const recovery::OrdService& ord_service() const noexcept { return ord_; }
+
+  /// Schedule a crash of `id` at absolute time `t`. Crashing a process
+  /// that is already down re-fails its restart machinery: any in-progress
+  /// restore is abandoned and the supervisor delay starts over (this is
+  /// how "the leader fails during recovery" scenarios are driven).
+  void crash_at(ProcessId id, Time t);
+
+  void run_until(Time t) { sim_.run_until(t); }
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  // --- queries ------------------------------------------------------------
+
+  /// Every process alive, started, not recovering, not blocked.
+  [[nodiscard]] bool all_idle() const;
+  [[nodiscard]] bool any_recovering() const;
+
+  [[nodiscard]] Duration total_blocked_time() const;
+  [[nodiscard]] Duration max_blocked_time() const;
+
+  /// Completed recoveries across all nodes, ordered by completion time.
+  [[nodiscard]] std::vector<RecoveryTimeline> all_recoveries() const;
+
+  /// Combined digest of all application states (determinism oracle).
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+  /// Total application messages delivered across the cluster.
+  [[nodiscard]] std::uint64_t total_app_delivered() const;
+
+  /// Structured protocol trace (nullptr unless enable_trace).
+  [[nodiscard]] const trace::TraceLog* trace() const noexcept { return trace_.get(); }
+
+  /// Run the global history checker on the recorded trace (requires
+  /// enable_trace).
+  [[nodiscard]] trace::CheckResult check_history() const;
+
+  /// ProcessId of the never-failing ord/registry service.
+  static constexpr ProcessId kOrdServiceId{999};
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  metrics::Registry metrics_;
+  net::Network network_;
+  recovery::OrdService ord_;
+  std::unique_ptr<trace::TraceLog> trace_;
+  std::vector<ProcessId> pids_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace rr::runtime

@@ -1,0 +1,133 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rr::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  logging::set_clock([this] { return now_; });
+}
+
+Simulator::~Simulator() { logging::set_clock(nullptr); }
+
+EventId Simulator::schedule_at(Time t, EventFn fn) {
+  RR_CHECK_MSG(t >= now_, "cannot schedule in the past");
+  RR_CHECK(fn != nullptr);
+  const EventId id{next_seq_++};
+  queue_.push(Event{t, id.value, std::move(fn)});
+  pending_.insert(id.value);
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration d, EventFn fn) {
+  RR_CHECK_MSG(d >= 0, "negative delay");
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy deletion: mark and skip at pop time. Cancelling an event that
+  // already ran (or was already cancelled) returns false.
+  if (!id.valid() || pending_.erase(id.value) == 0) return false;
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we move via const_cast after pop decision
+    // is made — standard lazy-deletion idiom.
+    const Event& top = queue_.top();
+    if (cancelled_.erase(top.seq) > 0) {
+      queue_.pop();
+      continue;
+    }
+    out = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    pending_.erase(out.seq);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  RR_CHECK(ev.at >= now_);
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && step()) {
+    ++n;
+    RR_CHECK_MSG(n <= max_events, "event budget exhausted — runaway schedule?");
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(Time t, std::size_t max_events) {
+  RR_CHECK(t >= now_);
+  stopped_ = false;
+  std::size_t n = 0;
+  for (;;) {
+    if (stopped_) break;
+    Event ev;
+    if (!pop_next(ev)) break;
+    if (ev.at > t) {
+      // Not due yet: push back and finish.
+      pending_.insert(ev.seq);
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    ++n;
+    RR_CHECK_MSG(n <= max_events, "event budget exhausted — runaway schedule?");
+  }
+  now_ = t;
+  return n;
+}
+
+RepeatingTimer::RepeatingTimer(Simulator& sim, Duration period, std::function<void()> on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  RR_CHECK(period_ > 0);
+  RR_CHECK(on_tick_ != nullptr);
+}
+
+RepeatingTimer::~RepeatingTimer() { stop(); }
+
+void RepeatingTimer::start() { start_after(period_); }
+
+void RepeatingTimer::start_after(Duration initial_delay) {
+  stop();
+  arm(initial_delay);
+}
+
+void RepeatingTimer::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = kNoEvent;
+  }
+}
+
+void RepeatingTimer::set_period(Duration period) {
+  RR_CHECK(period > 0);
+  period_ = period;
+}
+
+void RepeatingTimer::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = kNoEvent;
+    arm(period_);  // re-arm first so on_tick_ may call stop()
+    on_tick_();
+  });
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,131 @@
+// Deterministic discrete-event simulation kernel.
+//
+// All of the system — network delivery, storage completion, timers, failure
+// injection — runs as events on one queue ordered by (virtual time,
+// insertion sequence). The insertion-sequence tie-break makes execution a
+// pure function of the initial schedule and the seed: two runs with the
+// same inputs produce bit-identical traces, which is what lets the test
+// suite treat an entire distributed execution as a reproducible value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace rr::sim {
+
+/// Handle for a scheduled event; value 0 is "no event".
+struct EventId {
+  std::uint64_t value{0};
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+inline constexpr EventId kNoEvent{};
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).
+  EventId schedule_at(Time t, EventFn fn);
+
+  /// Schedule `fn` after `d` (>= 0) from now.
+  EventId schedule_after(Duration d, EventFn fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Run the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or stop() is called. Returns events run.
+  /// Aborts (RR_CHECK) past `max_events` — a runaway-protocol backstop.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Run every event with time <= t, then advance the clock to exactly t.
+  std::size_t run_until(Time t, std::size_t max_events = kDefaultMaxEvents);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
+
+  /// Root RNG; components should fork() their own streams from it.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  static constexpr std::size_t kDefaultMaxEvents = 200'000'000;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next non-cancelled event, or returns false.
+  bool pop_next(Event& out);
+
+  Time now_{kTimeZero};
+  std::uint64_t next_seq_{1};
+  std::size_t executed_{0};
+  bool stopped_{false};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;    // ids scheduled, not yet run
+  std::unordered_set<std::uint64_t> cancelled_;  // ids to skip at pop time
+  Rng rng_;
+};
+
+/// Self-rescheduling periodic timer. Not started until start() is called;
+/// stop() is idempotent; destruction cancels any pending tick. The period
+/// may be changed between ticks via set_period().
+class RepeatingTimer {
+ public:
+  RepeatingTimer(Simulator& sim, Duration period, std::function<void()> on_tick);
+  ~RepeatingTimer();
+
+  RepeatingTimer(const RepeatingTimer&) = delete;
+  RepeatingTimer& operator=(const RepeatingTimer&) = delete;
+
+  /// First tick fires one period from now (or at `initial_delay` if given).
+  void start();
+  void start_after(Duration initial_delay);
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return pending_.valid(); }
+
+  void set_period(Duration period);
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> on_tick_;
+  EventId pending_{kNoEvent};
+};
+
+}  // namespace rr::sim

@@ -1,0 +1,231 @@
+#include "snapshot/snapshot.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "fbl/frame.hpp"
+
+namespace rr::snapshot {
+
+namespace {
+
+enum class SnapKind : std::uint8_t { kMarker = 1, kReport = 2 };
+
+constexpr std::uint8_t kSnapshotFrame = 5;  // fbl::FrameKind::kSnapshot
+
+Bytes encode_marker(std::uint64_t id, ProcessId initiator) {
+  BufWriter w(32);
+  w.u8(kSnapshotFrame);
+  w.u8(static_cast<std::uint8_t>(SnapKind::kMarker));
+  w.u64(id);
+  w.process_id(initiator);
+  return std::move(w).take();
+}
+
+Bytes encode_report(std::uint64_t id, const LocalCut& cut,
+                    const std::map<ProcessId, std::uint64_t>& channels) {
+  BufWriter w(128);
+  w.u8(kSnapshotFrame);
+  w.u8(static_cast<std::uint8_t>(SnapKind::kReport));
+  w.u64(id);
+  cut.encode(w);
+  w.varint(channels.size());
+  for (const auto& [src, count] : channels) {
+    w.process_id(src);
+    w.u64(count);
+  }
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void LocalCut::encode(BufWriter& w) const {
+  w.u64(app_hash);
+  w.u64(rsn);
+  fbl::encode(w, send_seq);
+  fbl::encode(w, recv_marks);
+}
+
+LocalCut LocalCut::decode(BufReader& r) {
+  LocalCut cut;
+  cut.app_hash = r.u64();
+  cut.rsn = r.u64();
+  cut.send_seq = fbl::decode_watermarks(r);
+  cut.recv_marks = fbl::decode_watermarks(r);
+  return cut;
+}
+
+std::vector<std::string> GlobalSnapshot::violations() const {
+  std::vector<std::string> out;
+  for (const auto& [p, p_cut] : cuts) {
+    for (const auto& [q, q_cut] : cuts) {
+      if (p == q) continue;
+      const std::uint64_t sent = fbl::watermark_of(p_cut.send_seq, q);
+      const std::uint64_t delivered = fbl::watermark_of(q_cut.recv_marks, p);
+      std::uint64_t channel = 0;
+      const auto it = channels.find({p, q});
+      if (it != channels.end()) channel = it->second;
+      if (sent != delivered + channel) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "channel %s->%s: sent %llu != delivered %llu + in-flight %llu",
+                      rr::to_string(p).c_str(), rr::to_string(q).c_str(),
+                      static_cast<unsigned long long>(sent),
+                      static_cast<unsigned long long>(delivered),
+                      static_cast<unsigned long long>(channel));
+        out.emplace_back(buf);
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t GlobalSnapshot::in_flight() const {
+  std::uint64_t total = 0;
+  for (const auto& [channel, count] : channels) total += count;
+  return total;
+}
+
+SnapshotManager::SnapshotManager(ProcessId self, Hooks hooks, metrics::Registry& metrics)
+    : self_(self), hooks_(std::move(hooks)), metrics_(metrics) {
+  RR_CHECK(hooks_.send_frame && hooks_.peers && hooks_.local_cut);
+}
+
+void SnapshotManager::initiate(std::uint64_t id) {
+  RR_CHECK(id != 0);
+  if (recording_ || assembling_) {
+    // A previous snapshot stalled (typically a participant crashed while
+    // markers or reports were in flight). Snapshots are best-effort:
+    // discard it and start over; stragglers are dropped by their stale id.
+    metrics_.counter("snapshot.aborted").add();
+    recording_ = false;
+    assembling_ = false;
+    awaiting_marker_.clear();
+    channel_counts_.clear();
+    awaiting_report_.clear();
+    assembly_ = GlobalSnapshot{};
+  }
+  metrics_.counter("snapshot.initiated").add();
+  assembling_ = true;
+  assembly_ = GlobalSnapshot{};
+  assembly_.id = id;
+  assembly_.initiator = self_;
+  awaiting_report_ = {};
+  for (const ProcessId p : hooks_.peers()) awaiting_report_.insert(p);
+  initiator_ = self_;
+  record_cut_and_emit_markers(id);
+}
+
+void SnapshotManager::record_cut_and_emit_markers(std::uint64_t id) {
+  recording_ = true;
+  current_id_ = id;
+  my_cut_ = hooks_.local_cut();
+  channel_counts_.clear();
+  awaiting_marker_.clear();
+  for (const ProcessId p : hooks_.peers()) {
+    awaiting_marker_.insert(p);
+    channel_counts_[p] = 0;
+    hooks_.send_frame(p, encode_marker(id, initiator_));
+    metrics_.counter("snapshot.markers_sent").add();
+  }
+  maybe_finish_recording();  // degenerate two-process systems finish fast
+}
+
+void SnapshotManager::on_frame(ProcessId src, BufReader& r) {
+  const auto kind = static_cast<SnapKind>(r.u8());
+  if (kind == SnapKind::kMarker) {
+    const std::uint64_t id = r.u64();
+    const ProcessId initiator = r.process_id();
+    // Ids must be system-wide unique and increasing: a higher id supersedes
+    // a recording that stalled because a participant crashed (best-effort
+    // semantics — the stalled snapshot is abandoned everywhere it touched).
+    if (recording_ && id > current_id_) {
+      metrics_.counter("snapshot.aborted").add();
+      recording_ = false;
+    }
+    if (!recording_) {
+      initiator_ = initiator;
+      record_cut_and_emit_markers(id);
+    }
+    if (id != current_id_) {
+      metrics_.counter("snapshot.stale_markers").add();
+      return;
+    }
+    // The channel from src holds nothing beyond what we counted.
+    awaiting_marker_.erase(src);
+    maybe_finish_recording();
+  } else if (kind == SnapKind::kReport) {
+    const std::uint64_t id = r.u64();
+    LocalCut cut = LocalCut::decode(r);
+    std::map<ProcessId, std::uint64_t> channels;
+    const auto n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ProcessId from = r.process_id();
+      channels[from] = r.u64();
+    }
+    if (!assembling_ || id != assembly_.id) {
+      metrics_.counter("snapshot.stale_reports").add();
+      return;
+    }
+    assembly_.cuts[src] = std::move(cut);
+    for (const auto& [from, count] : channels) assembly_.channels[{from, src}] = count;
+    awaiting_report_.erase(src);
+    maybe_complete_assembly();
+  } else {
+    throw SerdeError("unknown snapshot frame kind");
+  }
+}
+
+void SnapshotManager::observe_delivery(ProcessId src) {
+  if (!recording_) return;
+  const auto it = channel_counts_.find(src);
+  // Channels whose marker already arrived are sealed.
+  if (it != channel_counts_.end() && awaiting_marker_.contains(src)) ++it->second;
+}
+
+void SnapshotManager::maybe_finish_recording() {
+  if (!recording_ || !awaiting_marker_.empty()) return;
+  recording_ = false;
+  metrics_.counter("snapshot.cuts_recorded").add();
+  if (initiator_ == self_) {
+    // Fold our own contribution straight into the assembly.
+    assembly_.cuts[self_] = my_cut_;
+    for (const auto& [from, count] : channel_counts_) assembly_.channels[{from, self_}] = count;
+    maybe_complete_assembly();
+  } else {
+    hooks_.send_frame(initiator_, encode_report(current_id_, my_cut_, channel_counts_));
+    metrics_.counter("snapshot.reports_sent").add();
+  }
+}
+
+void SnapshotManager::maybe_complete_assembly() {
+  if (!assembling_ || recording_ || !awaiting_report_.empty()) return;
+  assembling_ = false;
+  metrics_.counter("snapshot.completed").add();
+  RR_DEBUG("snap", "%s assembled snapshot %llu (%llu in flight)", to_string(self_).c_str(),
+           static_cast<unsigned long long>(assembly_.id),
+           static_cast<unsigned long long>(assembly_.in_flight()));
+  completed_ = std::move(assembly_);
+  assembly_ = GlobalSnapshot{};
+}
+
+std::optional<GlobalSnapshot> SnapshotManager::take_completed() {
+  auto out = std::move(completed_);
+  completed_.reset();
+  return out;
+}
+
+void SnapshotManager::reset() {
+  recording_ = false;
+  assembling_ = false;
+  current_id_ = 0;
+  awaiting_marker_.clear();
+  channel_counts_.clear();
+  awaiting_report_.clear();
+  assembly_ = GlobalSnapshot{};
+  completed_.reset();
+}
+
+}  // namespace rr::snapshot

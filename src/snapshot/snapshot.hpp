@@ -1,0 +1,127 @@
+// Chandy–Lamport distributed snapshots (the paper's reference [6]).
+//
+// The recovery leader's depinfo gather is a *specialized* consistent
+// snapshot — "a consistent snapshot of the message receipt order
+// information that is scattered throughout the system" (paper §3.1). This
+// module implements the general algorithm over the same FIFO channels and
+// uses it as an online validator: a completed snapshot must satisfy, for
+// every ordered pair (p, q),
+//
+//     sent(p→q at p's cut) = delivered(q←p at q's cut) + in-channel(p→q)
+//
+// which our per-channel ssn watermarks make directly checkable.
+//
+// Protocol (classic, FIFO channels):
+//  * the initiator records its local cut and emits a marker on every
+//    channel;
+//  * on the first marker, a process records its cut, emits markers, and
+//    starts counting per-channel deliveries;
+//  * a channel's state is the deliveries counted until its marker arrives;
+//  * when all channels have delivered their markers, the process reports
+//    its cut + channel counts to the initiator, which assembles the global
+//    snapshot once every report is in.
+//
+// Scope: failure-free operation. A crash wipes in-progress snapshot state
+// (reset()); the initiator's assembly simply never completes, which
+// callers observe and discard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "fbl/watermarks.hpp"
+#include "metrics/registry.hpp"
+
+namespace rr::snapshot {
+
+/// One process's recorded cut.
+struct LocalCut {
+  std::uint64_t app_hash{0};
+  Rsn rsn{0};
+  fbl::Watermarks send_seq;    ///< per destination: app messages sent
+  fbl::Watermarks recv_marks;  ///< per source: app messages delivered
+
+  void encode(BufWriter& w) const;
+  [[nodiscard]] static LocalCut decode(BufReader& r);
+};
+
+/// Assembled global snapshot (initiator side).
+struct GlobalSnapshot {
+  std::uint64_t id{0};
+  ProcessId initiator;
+  std::map<ProcessId, LocalCut> cuts;
+  /// (sender, receiver) -> messages captured in the channel.
+  std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> channels;
+
+  /// The flow-conservation consistency check described above. Returns an
+  /// empty vector when consistent; otherwise one line per violated channel.
+  [[nodiscard]] std::vector<std::string> violations() const;
+  [[nodiscard]] bool consistent() const { return violations().empty(); }
+
+  /// Total messages captured inside channels.
+  [[nodiscard]] std::uint64_t in_flight() const;
+};
+
+class SnapshotManager {
+ public:
+  struct Hooks {
+    /// Transmit an encoded snapshot frame to a peer.
+    std::function<void(ProcessId, Bytes)> send_frame;
+    /// All application processes except self, sorted.
+    std::function<std::vector<ProcessId>()> peers;
+    /// Record this process's cut right now.
+    std::function<LocalCut()> local_cut;
+  };
+
+  SnapshotManager(ProcessId self, Hooks hooks, metrics::Registry& metrics);
+
+  /// Initiate a snapshot with a caller-chosen unique id.
+  void initiate(std::uint64_t id);
+
+  /// Handle an incoming snapshot frame (reader positioned after the
+  /// FrameKind byte).
+  void on_frame(ProcessId src, BufReader& r);
+
+  /// Node calls this for every application delivery, before the handler:
+  /// channels being recorded count it.
+  void observe_delivery(ProcessId src);
+
+  /// A completed snapshot this process initiated, if any (consumed).
+  [[nodiscard]] std::optional<GlobalSnapshot> take_completed();
+
+  [[nodiscard]] bool recording() const noexcept { return recording_; }
+
+  /// Crash: all in-progress snapshot state is volatile.
+  void reset();
+
+ private:
+  void record_cut_and_emit_markers(std::uint64_t id);
+  void maybe_finish_recording();
+  void maybe_complete_assembly();
+
+  ProcessId self_;
+  Hooks hooks_;
+  metrics::Registry& metrics_;
+
+  // Participant state (one snapshot at a time; ids must be unique).
+  bool recording_{false};
+  std::uint64_t current_id_{0};
+  ProcessId initiator_;
+  LocalCut my_cut_;
+  std::set<ProcessId> awaiting_marker_;
+  std::map<ProcessId, std::uint64_t> channel_counts_;
+
+  // Initiator state.
+  bool assembling_{false};
+  GlobalSnapshot assembly_;
+  std::set<ProcessId> awaiting_report_;
+  std::optional<GlobalSnapshot> completed_;
+};
+
+}  // namespace rr::snapshot

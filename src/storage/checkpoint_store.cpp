@@ -1,0 +1,51 @@
+#include "storage/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rr::storage {
+
+CheckpointStore::CheckpointStore(StableStorage& device, ProcessId owner)
+    : device_(device), owner_(owner) {}
+
+std::string CheckpointStore::block_key(std::uint64_t version) const {
+  return "ckpt/" + std::to_string(owner_.value) + "/" + std::to_string(version);
+}
+
+std::string CheckpointStore::pointer_key() const {
+  return "ckpt/" + std::to_string(owner_.value) + "/latest";
+}
+
+void CheckpointStore::save(Bytes snapshot, SaveCallback done) {
+  const std::uint64_t version = next_version_++;
+  device_.write(block_key(version), std::move(snapshot), [this, version, done = std::move(done)] {
+    BufWriter w;
+    w.u64(version);
+    device_.write(pointer_key(), std::move(w).take(), [this, version, done = std::move(done)] {
+      const std::uint64_t previous = committed_;
+      committed_ = version;
+      if (previous != 0) device_.erase(block_key(previous), nullptr);
+      if (done) done(version);
+    });
+  });
+}
+
+void CheckpointStore::load_latest(LoadCallback done) {
+  device_.read(pointer_key(), [this, done = std::move(done)](std::optional<Bytes> ptr) {
+    if (!ptr) {
+      done(std::nullopt, 0);
+      return;
+    }
+    BufReader r(*ptr);
+    const std::uint64_t version = r.u64();
+    // A store rebuilt after a crash re-learns where the version sequence
+    // stands, so later saves never reuse a live block key.
+    committed_ = std::max(committed_, version);
+    next_version_ = std::max(next_version_, version + 1);
+    device_.read(block_key(version), [done = std::move(done), version](std::optional<Bytes> blk) {
+      done(std::move(blk), version);
+    });
+  });
+}
+
+}  // namespace rr::storage

@@ -1,0 +1,51 @@
+// Versioned checkpoint store on top of StableStorage.
+//
+// Keeps the latest committed checkpoint per process under a two-slot
+// scheme: a new checkpoint is written to a fresh key and only then the
+// "latest" pointer record is flipped, so a crash during checkpointing
+// always leaves a loadable previous checkpoint (classic atomic-pointer
+// technique). Old checkpoint blocks are erased after the flip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "storage/stable_storage.hpp"
+
+namespace rr::storage {
+
+class CheckpointStore {
+ public:
+  using SaveCallback = std::function<void(std::uint64_t version)>;
+  using LoadCallback = std::function<void(std::optional<Bytes>, std::uint64_t version)>;
+
+  CheckpointStore(StableStorage& device, ProcessId owner);
+
+  /// Persist `snapshot` as the next checkpoint version. `done` runs after
+  /// the latest-pointer flip commits (i.e., when the checkpoint is the one
+  /// a restart would load).
+  void save(Bytes snapshot, SaveCallback done);
+
+  /// Load the latest committed checkpoint (nullopt + version 0 if none).
+  void load_latest(LoadCallback done);
+
+  /// Version of the last committed checkpoint (0 = none). Synchronous
+  /// metadata for tests/GC; a crashed-and-restarted runtime re-learns this
+  /// via load_latest().
+  [[nodiscard]] std::uint64_t committed_version() const noexcept { return committed_; }
+
+ private:
+  [[nodiscard]] std::string block_key(std::uint64_t version) const;
+  [[nodiscard]] std::string pointer_key() const;
+
+  StableStorage& device_;
+  ProcessId owner_;
+  std::uint64_t next_version_{1};
+  std::uint64_t committed_{0};
+};
+
+}  // namespace rr::storage

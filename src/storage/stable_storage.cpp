@@ -1,0 +1,86 @@
+#include "storage/stable_storage.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rr::storage {
+
+StableStorage::StableStorage(sim::Simulator& sim, StorageConfig config,
+                             metrics::Registry& metrics, std::string metric_prefix)
+    : sim_(sim), config_(config), metrics_(metrics), prefix_(std::move(metric_prefix)) {
+  RR_CHECK(config_.seek_latency >= 0);
+  RR_CHECK(config_.bytes_per_second > 0);
+}
+
+Time StableStorage::reserve(Duration transfer) {
+  // Serial device: the new operation starts when the queue drains.
+  const Time start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + config_.seek_latency + transfer;
+  metrics_.accum(prefix_ + ".op_latency_ns").record_duration(busy_until_ - sim_.now());
+  return busy_until_;
+}
+
+void StableStorage::write(std::string key, Bytes data, WriteCallback done) {
+  const auto transfer = static_cast<Duration>(
+      static_cast<double>(data.size()) / config_.bytes_per_second * 1e9);
+  metrics_.counter(prefix_ + ".writes").add();
+  metrics_.counter(prefix_ + ".bytes_written").add(data.size());
+  const Time at = reserve(transfer);
+  sim_.schedule_at(at, [this, key = std::move(key), data = std::move(data),
+                        done = std::move(done)]() mutable {
+    // Commit point: the medium is updated only when the transfer finishes,
+    // so a crash mid-write loses the write, never torn data.
+    blocks_[key] = std::move(data);
+    if (done) done();
+  });
+}
+
+void StableStorage::read(std::string key, ReadCallback done) {
+  RR_CHECK(done != nullptr);
+  // Transfer cost is charged by the *current* size of the block; reading a
+  // missing key costs one seek.
+  const auto it = blocks_.find(key);
+  const std::size_t bytes = it == blocks_.end() ? 0 : it->second.size();
+  const auto transfer =
+      static_cast<Duration>(static_cast<double>(bytes) / config_.bytes_per_second * 1e9);
+  metrics_.counter(prefix_ + ".reads").add();
+  metrics_.counter(prefix_ + ".bytes_read").add(bytes);
+  const Time at = reserve(transfer);
+  sim_.schedule_at(at, [this, key = std::move(key), done = std::move(done)] {
+    const auto found = blocks_.find(key);
+    if (found == blocks_.end()) {
+      done(std::nullopt);
+    } else {
+      done(found->second);
+    }
+  });
+}
+
+void StableStorage::erase(std::string key, WriteCallback done) {
+  metrics_.counter(prefix_ + ".erases").add();
+  const Time at = reserve(kDurationZero);
+  sim_.schedule_at(at, [this, key = std::move(key), done = std::move(done)] {
+    blocks_.erase(key);
+    if (done) done();
+  });
+}
+
+bool StableStorage::contains(const std::string& key) const { return blocks_.contains(key); }
+
+std::size_t StableStorage::size_of(const std::string& key) const {
+  const auto it = blocks_.find(key);
+  return it == blocks_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> StableStorage::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = blocks_.lower_bound(prefix); it != blocks_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace rr::storage

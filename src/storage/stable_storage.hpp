@@ -1,0 +1,80 @@
+// Stable storage device model.
+//
+// A key/value block store whose contents survive crashes (that is the
+// definition of "stable"), with the latency profile of a mid-90s disk:
+// every operation pays a fixed positioning cost plus size/bandwidth, and
+// the device is *serial* — concurrent requests queue behind each other.
+// The paper's central argument is that this latency, not message counts,
+// dominates recovery; benches F3/F6 sweep exactly these two knobs.
+//
+// The API is asynchronous: completion callbacks run in virtual time when
+// the device finishes. A host crash does not cancel queued operations'
+// effects on the medium (a write that had reached the device completes),
+// but completion callbacks of a crashed issuer are suppressed by the
+// runtime layer, not here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/serde.hpp"
+#include "metrics/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::storage {
+
+struct StorageConfig {
+  /// Fixed per-operation positioning latency (seek + rotation).
+  Duration seek_latency = milliseconds(12);
+  /// Sustained transfer bandwidth. ~1995 SCSI disk.
+  double bytes_per_second = 2.0 * 1024 * 1024;
+};
+
+class StableStorage {
+ public:
+  using WriteCallback = std::function<void()>;
+  using ReadCallback = std::function<void(std::optional<Bytes>)>;
+
+  StableStorage(sim::Simulator& sim, StorageConfig config, metrics::Registry& metrics,
+                std::string metric_prefix = "storage");
+
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+
+  /// Durably write `data` under `key`; `done` runs when the device commits.
+  void write(std::string key, Bytes data, WriteCallback done);
+
+  /// Read `key`; `done` receives nullopt if absent.
+  void read(std::string key, ReadCallback done);
+
+  /// Remove `key` (metadata operation: seek cost only, no transfer).
+  void erase(std::string key, WriteCallback done);
+
+  /// Synchronous introspection for tests and GC decisions; does not model
+  /// latency and must not be used on a protocol's critical path.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size_of(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Time at which the device drains all currently queued work.
+  [[nodiscard]] Time busy_until() const noexcept { return busy_until_; }
+
+  [[nodiscard]] const StorageConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Reserve a device slot of length `transfer`; returns completion time.
+  Time reserve(Duration transfer);
+
+  sim::Simulator& sim_;
+  StorageConfig config_;
+  metrics::Registry& metrics_;
+  std::string prefix_;
+  std::map<std::string, Bytes> blocks_;
+  Time busy_until_{kTimeZero};
+};
+
+}  // namespace rr::storage

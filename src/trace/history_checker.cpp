@@ -1,0 +1,240 @@
+#include "trace/history_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace rr::trace {
+
+namespace {
+
+/// One execution of a process: boot, or restore-to-crash (or to trace end).
+struct Execution {
+  Incarnation inc{1};
+  Rsn start_rsn{0};  ///< restored checkpoint rsn (0 at boot)
+  Time began{0};
+  std::vector<const TimedEvent*> events;  // sends, delivers, ckpts of this execution
+};
+
+struct ProcessTimeline {
+  std::vector<Execution> executions;
+  std::vector<std::string>* violations{nullptr};
+};
+
+struct Checker {
+  const TraceLog& log;
+  std::size_t max_violations;
+  CheckResult result;
+  std::map<ProcessId, ProcessTimeline> timelines;
+
+  void violate(std::string msg) {
+    result.ok = false;
+    if (result.violations.size() < max_violations) result.violations.push_back(std::move(msg));
+  }
+
+  void build_timelines() {
+    std::map<ProcessId, bool> down;  // crashed, not yet restored
+    for (const auto& ev : log.events()) {
+      if (const auto* s = std::get_if<SendEvent>(&ev.event)) {
+        auto& tl = timelines[s->src];
+        if (tl.executions.empty()) tl.executions.push_back(Execution{});
+        tl.executions.back().events.push_back(&ev);
+        ++result.sends;
+      } else if (const auto* d = std::get_if<DeliverEvent>(&ev.event)) {
+        auto& tl = timelines[d->dst];
+        if (tl.executions.empty()) tl.executions.push_back(Execution{});
+        tl.executions.back().events.push_back(&ev);
+        ++result.deliveries;
+        result.replayed += d->replayed;
+      } else if (const auto* c = std::get_if<trace::CrashEvent>(&ev.event)) {
+        if (down[c->pid]) violate("V6: double crash without restore at " + rr::to_string(c->pid));
+        down[c->pid] = true;
+      } else if (const auto* r = std::get_if<RestoreEvent>(&ev.event)) {
+        auto& tl = timelines[r->pid];
+        if (tl.executions.empty()) tl.executions.push_back(Execution{});
+        const Incarnation prev = tl.executions.back().inc;
+        if (r->inc <= prev) {
+          violate("V6: non-increasing incarnation " + std::to_string(r->inc) + " after " +
+                  std::to_string(prev) + " at " + rr::to_string(r->pid));
+        }
+        if (!down[r->pid]) violate("V6: restore without crash at " + rr::to_string(r->pid));
+        down[r->pid] = false;
+        Execution e;
+        e.inc = r->inc;
+        e.start_rsn = r->checkpoint_rsn;
+        e.began = ev.at;
+        tl.executions.push_back(std::move(e));
+      } else if (const auto* k = std::get_if<CheckpointEvent>(&ev.event)) {
+        auto& tl = timelines[k->pid];
+        if (tl.executions.empty()) tl.executions.push_back(Execution{});
+        tl.executions.back().events.push_back(&ev);
+      }
+      // CompleteEvent carries no history content the checks below need.
+    }
+    for (const auto& [pid, tl] : timelines) result.executions += tl.executions.size();
+  }
+
+  /// V1: deliveries must be preceded (or accompanied) by a matching send.
+  void check_send_before_deliver() {
+    // (src, dst, ssn) -> earliest send time.
+    std::map<std::tuple<ProcessId, ProcessId, Ssn>, Time> first_send;
+    for (const auto& ev : log.events()) {
+      if (const auto* s = std::get_if<SendEvent>(&ev.event)) {
+        const auto key = std::tuple{s->src, s->dst, s->ssn};
+        const auto it = first_send.find(key);
+        if (it == first_send.end()) first_send[key] = ev.at;
+      }
+    }
+    for (const auto& ev : log.events()) {
+      if (const auto* d = std::get_if<DeliverEvent>(&ev.event)) {
+        const auto it = first_send.find(std::tuple{d->src, d->dst, d->ssn});
+        if (it == first_send.end()) {
+          violate("V1: delivery without send: " + to_string(ev));
+        } else if (it->second > ev.at) {
+          violate("V1: delivery precedes send: " + to_string(ev));
+        }
+      }
+    }
+  }
+
+  /// V2 + V3: intra-execution ordering.
+  void check_execution_ordering() {
+    for (const auto& [pid, tl] : timelines) {
+      for (const auto& exec : tl.executions) {
+        Rsn expect = exec.start_rsn + 1;
+        std::map<ProcessId, Ssn> chan;
+        for (const TimedEvent* ev : exec.events) {
+          const auto* d = std::get_if<DeliverEvent>(&ev->event);
+          if (d == nullptr) continue;
+          if (d->rsn != expect) {
+            violate("V2: receipt order jump (expected rsn " + std::to_string(expect) + "): " +
+                    to_string(*ev));
+          }
+          expect = d->rsn + 1;
+          auto& mark = chan[d->src];
+          if (d->ssn <= mark) {
+            violate("V3: channel ssn not increasing: " + to_string(*ev));
+          }
+          mark = d->ssn;
+        }
+      }
+    }
+  }
+
+  /// V4 + V5 + rollback accounting, via surviving-history reconstruction.
+  void check_surviving_history() {
+    struct Final {
+      // receiver -> rsn -> (src, ssn)
+      std::map<ProcessId, std::map<Rsn, std::pair<ProcessId, Ssn>>> history;
+      // sender -> dst -> surviving ssn set
+      std::map<ProcessId, std::map<ProcessId, std::set<Ssn>>> sends;
+    } final;
+
+    for (const auto& [pid, tl] : timelines) {
+      std::map<Rsn, std::pair<ProcessId, Ssn>> history;
+      // Accumulates across executions WITHOUT checkpoint truncation: what
+      // any earlier execution delivered at each receipt order — the value a
+      // replay must reproduce (V4) and a fresh redelivery may replace only
+      // as a rollback.
+      std::map<Rsn, std::pair<ProcessId, Ssn>> last_seen;
+      std::map<ProcessId, std::set<Ssn>> sends;
+
+      for (const auto& exec : tl.executions) {
+        // Restoring from a checkpoint at rsn c truncates the visible
+        // history to rsn <= c and the send set to sends issued before that
+        // checkpoint committed (the checkpointed send log preserves them).
+        if (&exec != &tl.executions.front()) {
+          // Find the commit time of the restored checkpoint: the last
+          // CheckpointEvent with the matching rsn in any earlier execution
+          // (version bookkeeping guarantees it exists; rsn 0 = boot image).
+          Time cut = 0;
+          for (const auto& prev : tl.executions) {
+            if (&prev == &exec) break;
+            for (const TimedEvent* ev : prev.events) {
+              if (const auto* k = std::get_if<CheckpointEvent>(&ev->event)) {
+                if (k->rsn == exec.start_rsn) cut = std::max(cut, ev->at);
+              }
+            }
+          }
+          history.erase(history.upper_bound(exec.start_rsn), history.end());
+          // The restored image preserves exactly the sends issued before
+          // the checkpoint committed (they live in its send log); later
+          // sends must be regenerated. Rebuild the surviving set by time.
+          sends.clear();
+          for (const auto& prev : tl.executions) {
+            if (&prev == &exec) break;
+            for (const TimedEvent* ev : prev.events) {
+              if (const auto* s = std::get_if<SendEvent>(&ev->event)) {
+                if (ev->at <= cut) sends[s->dst].insert(s->ssn);
+              }
+            }
+          }
+        }
+
+        for (const TimedEvent* ev : exec.events) {
+          if (const auto* d = std::get_if<DeliverEvent>(&ev->event)) {
+            const auto value = std::pair{d->src, d->ssn};
+            const auto it = last_seen.find(d->rsn);
+            if (it != last_seen.end() && it->second != value) {
+              if (d->replayed) {
+                violate("V4: replay diverged from prior execution: " + to_string(*ev));
+              } else {
+                ++result.rollbacks;  // dead suffix replaced by fresh traffic
+              }
+            }
+            last_seen[d->rsn] = value;
+            history[d->rsn] = value;
+          } else if (const auto* s = std::get_if<SendEvent>(&ev->event)) {
+            sends[s->dst].insert(s->ssn);
+          }
+        }
+      }
+      final.history[pid] = std::move(history);
+      final.sends[pid] = std::move(sends);
+    }
+
+    // V5: every surviving delivery is covered by the sender's surviving
+    // send set.
+    for (const auto& [dst, history] : final.history) {
+      for (const auto& [rsn, value] : history) {
+        const auto& [src, ssn] = value;
+        const auto sit = final.sends.find(src);
+        const bool covered = sit != final.sends.end() &&
+                             sit->second.contains(dst) && sit->second.at(dst).contains(ssn);
+        if (!covered) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "V5: orphaned delivery at %s: rsn=%llu from %s ssn=%llu not in "
+                        "sender's surviving history",
+                        rr::to_string(dst).c_str(), static_cast<unsigned long long>(rsn),
+                        rr::to_string(src).c_str(), static_cast<unsigned long long>(ssn));
+          violate(buf);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s: %zu sends, %zu deliveries (%zu replayed), %zu executions, %zu rollbacks, "
+                "%zu violations",
+                ok ? "OK" : "VIOLATED", sends, deliveries, replayed, executions, rollbacks,
+                violations.size());
+  return buf;
+}
+
+CheckResult check_history(const TraceLog& log, std::size_t max_violations) {
+  Checker checker{log, max_violations, {}, {}};
+  checker.build_timelines();
+  checker.check_send_before_deliver();
+  checker.check_execution_ordering();
+  checker.check_surviving_history();
+  return std::move(checker.result);
+}
+
+}  // namespace rr::trace

@@ -1,0 +1,54 @@
+// Global history checker — the paper's §4 theorems as an executable oracle.
+//
+// Given a full protocol trace, the checker reconstructs every process's
+// *surviving* history — the application-visible prefix that the sequence of
+// checkpoints, crashes and replays actually preserved — and validates:
+//
+//  V1  send-before-deliver: every delivered (src, ssn) was sent on that
+//      channel no later than it was delivered;
+//  V2  receipt orders are contiguous within each execution, starting right
+//      after the restored checkpoint;
+//  V3  per-channel ssns increase strictly within each execution;
+//  V4  replay fidelity: a replayed delivery reproduces exactly the
+//      (src, ssn) the previous execution delivered at that receipt order;
+//  V5  orphan freedom (paper §4.3 operationally): every delivery in a
+//      process's final surviving history was sent by the sender's own
+//      final surviving execution — i.e. no surviving state depends on a
+//      message the rest of the system can no longer account for;
+//  V6  lifecycle sanity: incarnations increase by one per restore, crash /
+//      restore events alternate.
+//
+// Rollbacks — fresh deliveries replacing a dead execution's suffix at the
+// same receipt orders — are legal exactly when the replaced suffix was
+// invisible (beyond f failures they may also lose visible work); the
+// checker counts them so tests can assert zero within the f budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace rr::trace {
+
+struct CheckResult {
+  bool ok{true};
+  /// First violations found (bounded; empty iff ok).
+  std::vector<std::string> violations;
+
+  std::size_t sends{0};
+  std::size_t deliveries{0};
+  std::size_t replayed{0};
+  std::size_t executions{0};
+  /// Receipt orders where a later execution diverged from a dead one
+  /// (rolled-back suffix). Zero whenever failures stayed within f.
+  std::size_t rollbacks{0};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validate an execution trace. `max_violations` bounds the report.
+[[nodiscard]] CheckResult check_history(const TraceLog& log, std::size_t max_violations = 16);
+
+}  // namespace rr::trace

@@ -1,0 +1,64 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+
+namespace rr::trace {
+
+namespace {
+
+struct Formatter {
+  char* buf;
+  std::size_t n;
+
+  void operator()(const SendEvent& e) const {
+    std::snprintf(buf, n, "send     %s -> %s ssn=%llu inc=%u%s", rr::to_string(e.src).c_str(),
+                  rr::to_string(e.dst).c_str(), static_cast<unsigned long long>(e.ssn), e.inc,
+                  e.transmitted ? "" : " (suppressed)");
+  }
+  void operator()(const DeliverEvent& e) const {
+    std::snprintf(buf, n, "deliver  %s <- %s ssn=%llu rsn=%llu inc=%u%s",
+                  rr::to_string(e.dst).c_str(), rr::to_string(e.src).c_str(),
+                  static_cast<unsigned long long>(e.ssn),
+                  static_cast<unsigned long long>(e.rsn), e.dst_inc,
+                  e.replayed ? " (replayed)" : "");
+  }
+  void operator()(const CrashEvent& e) const {
+    std::snprintf(buf, n, "crash    %s inc=%u", rr::to_string(e.pid).c_str(), e.inc);
+  }
+  void operator()(const RestoreEvent& e) const {
+    std::snprintf(buf, n, "restore  %s inc=%u from ckpt rsn=%llu",
+                  rr::to_string(e.pid).c_str(), e.inc,
+                  static_cast<unsigned long long>(e.checkpoint_rsn));
+  }
+  void operator()(const CompleteEvent& e) const {
+    std::snprintf(buf, n, "complete %s inc=%u rsn=%llu", rr::to_string(e.pid).c_str(), e.inc,
+                  static_cast<unsigned long long>(e.rsn));
+  }
+  void operator()(const CheckpointEvent& e) const {
+    std::snprintf(buf, n, "ckpt     %s rsn=%llu", rr::to_string(e.pid).c_str(),
+                  static_cast<unsigned long long>(e.rsn));
+  }
+};
+
+}  // namespace
+
+std::string to_string(const TimedEvent& ev) {
+  char body[160];
+  std::visit(Formatter{body, sizeof body}, ev.event);
+  return "[" + format_duration(ev.at) + "] " + body;
+}
+
+std::string TraceLog::dump(std::size_t limit) const {
+  std::string out;
+  const std::size_t n = limit == 0 ? events_.size() : std::min(limit, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out += to_string(events_[i]);
+    out += '\n';
+  }
+  if (n < events_.size()) {
+    out += "... (" + std::to_string(events_.size() - n) + " more events)\n";
+  }
+  return out;
+}
+
+}  // namespace rr::trace

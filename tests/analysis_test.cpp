@@ -1,0 +1,149 @@
+// Analytical models: closed-form properties plus a live crosscheck against
+// a simulated clean episode.
+#include <gtest/gtest.h>
+
+#include "analysis/complexity.hpp"
+#include "test_util.hpp"
+
+namespace rr::analysis {
+namespace {
+
+using recovery::Algorithm;
+
+TEST(MessageModel, CleanSingleFailureCounts) {
+  MessageModelInputs in;
+  in.algorithm = Algorithm::kNonBlocking;
+  in.n = 8;
+  in.k = 1;
+  const auto p = predict_messages(in);
+  EXPECT_EQ(p.ord_request, 1u);
+  EXPECT_EQ(p.inc_request, 0u);  // a sole member has nobody to ask
+  EXPECT_EQ(p.dep_request, 7u);
+  EXPECT_EQ(p.dep_install, 0u);
+  EXPECT_EQ(p.recovery_complete, 8u);
+  EXPECT_EQ(p.total(), 1 + 1 + 1 + 1 + 7 + 7 + 8u);
+}
+
+TEST(MessageModel, IncPhaseOnlyForNonBlockingBatches) {
+  MessageModelInputs in;
+  in.n = 8;
+  in.k = 3;
+  in.algorithm = Algorithm::kNonBlocking;
+  EXPECT_EQ(predict_messages(in).inc_request, 2u);
+  in.algorithm = Algorithm::kBlocking;
+  EXPECT_EQ(predict_messages(in).inc_request, 0u);
+  in.algorithm = Algorithm::kDeferUnsafe;
+  EXPECT_EQ(predict_messages(in).inc_request, 0u);
+}
+
+TEST(MessageModel, RestartsMultiplyGatherPhases) {
+  MessageModelInputs in;
+  in.algorithm = Algorithm::kNonBlocking;
+  in.n = 6;
+  in.k = 2;
+  in.rounds = 3;
+  const auto p = predict_messages(in);
+  EXPECT_EQ(p.rset_request, 3u);
+  EXPECT_EQ(p.inc_request, 3u * 1);
+  EXPECT_EQ(p.dep_request, 3u * 4);
+  EXPECT_EQ(p.dep_install, 1u);  // only the completing round installs
+}
+
+TEST(MessageModel, PollsAreAdditive) {
+  MessageModelInputs in;
+  in.n = 4;
+  in.progress_polls = 5;
+  const auto p = predict_messages(in);
+  EXPECT_EQ(p.rset_request, 6u);
+  EXPECT_EQ(p.rset_reply, 6u);
+}
+
+TEST(MessageModel, NonBlockingCostsMoreThanBlockingForBatches) {
+  // The paper's stated trade: the new algorithm pays extra messages.
+  for (std::uint32_t k = 2; k <= 4; ++k) {
+    MessageModelInputs nb{Algorithm::kNonBlocking, 8, k, 1, 0};
+    MessageModelInputs bl{Algorithm::kBlocking, 8, k, 1, 0};
+    EXPECT_GT(predict_messages(nb).total(), predict_messages(bl).total()) << k;
+  }
+}
+
+TEST(MessageModel, BreakdownRendersTotal) {
+  MessageModelInputs in;
+  const auto p = predict_messages(in);
+  EXPECT_NE(p.to_string().find("total"), std::string::npos);
+}
+
+TEST(LatencyModel, TermsCompose) {
+  LatencyModelInputs in;
+  const auto p = predict_latency(in);
+  EXPECT_EQ(p.total(), p.detect + p.restore + p.gather + p.replay);
+  EXPECT_GT(p.restore, 4 * in.storage_seek);
+  EXPECT_EQ(p.detect, in.supervisor_delay);
+}
+
+TEST(LatencyModel, StorageDominatesOnThePaperTestbed) {
+  LatencyModelInputs in;  // defaults = paper testbed, 1 MB image
+  const auto p = predict_latency(in);
+  EXPECT_GT(p.restore, 100 * p.gather);
+  EXPECT_LT(p.communication_share(), 0.01);
+}
+
+TEST(LatencyModel, CommunicationShareGrowsWithLatencyButSlowly) {
+  LatencyModelInputs lan;
+  LatencyModelInputs wan;
+  wan.hop_latency = milliseconds(50);  // 200x the testbed
+  const double lan_share = predict_latency(lan).communication_share();
+  const double wan_share = predict_latency(wan).communication_share();
+  EXPECT_GT(wan_share, lan_share);
+  EXPECT_LT(wan_share, 0.25);  // still a minority share even at WAN latency
+}
+
+TEST(LatencyModel, BatchAddsIncRoundTripOnlyForNonBlocking) {
+  LatencyModelInputs solo;
+  LatencyModelInputs batch;
+  batch.k = 3;
+  EXPECT_EQ(predict_latency(batch).gather - predict_latency(solo).gather,
+            2 * solo.hop_latency);
+  batch.algorithm = recovery::Algorithm::kBlocking;
+  EXPECT_EQ(predict_latency(batch).gather, predict_latency(solo).gather);
+}
+
+TEST(ModelCrosscheck, CleanEpisodeOnFastCluster) {
+  harness::ScenarioConfig sc;
+  sc.cluster = test::fast_cluster(4, 2, Algorithm::kNonBlocking, 31);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{2}, seconds(3)}};
+  sc.horizon = seconds(8);
+  const auto r = harness::run_scenario(sc);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+
+  MessageModelInputs in;
+  in.algorithm = Algorithm::kNonBlocking;
+  in.n = 4;
+  in.k = 1;
+  in.progress_polls =
+      static_cast<std::uint32_t>(r.counter("recovery.msg.rset_request")) - 1;
+  const auto p = predict_messages(in);
+  EXPECT_EQ(p.ord_request, r.counter("recovery.msg.ord_request"));
+  EXPECT_EQ(p.dep_request, r.counter("recovery.msg.dep_request"));
+  EXPECT_EQ(p.dep_reply, r.counter("recovery.msg.dep_reply"));
+  EXPECT_EQ(p.dep_install, r.counter("recovery.msg.dep_install"));
+  EXPECT_EQ(p.recovery_complete, r.counter("recovery.msg.recovery_complete"));
+
+  LatencyModelInputs lin;
+  lin.supervisor_delay = sc.cluster.supervisor_restart_delay;
+  lin.storage_seek = sc.cluster.storage.seek_latency;
+  lin.storage_bytes_per_second = sc.cluster.storage.bytes_per_second;
+  lin.hop_latency = sc.cluster.net.base_latency;
+  lin.replay_messages = r.recoveries[0].replayed;
+  lin.replay_cost_per_message = sc.cluster.replay_delivery_cost;
+  lin.checkpoint_bytes = 0;  // tiny images on the fast cluster
+  const auto lat = predict_latency(lin);
+  EXPECT_EQ(lat.detect, r.recoveries[0].detect());
+  // Replay prediction within 35% (payload fetches overlap the CPU cost).
+  EXPECT_NEAR(static_cast<double>(lat.replay), static_cast<double>(r.recoveries[0].replay()),
+              0.35 * static_cast<double>(r.recoveries[0].replay()));
+}
+
+}  // namespace
+}  // namespace rr::analysis

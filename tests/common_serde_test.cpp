@@ -1,0 +1,247 @@
+// BufWriter/BufReader: encode/decode fidelity, bounds checking and error
+// behaviour for every primitive the wire formats use.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/serde.hpp"
+
+namespace rr {
+namespace {
+
+TEST(Serde, U8RoundTrip) {
+  BufWriter w;
+  w.u8(0);
+  w.u8(127);
+  w.u8(255);
+  BufReader r(w.view());
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u8(), 127u);
+  EXPECT_EQ(r.u8(), 255u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, U16RoundTrip) {
+  BufWriter w;
+  w.u16(0);
+  w.u16(0xBEEF);
+  w.u16(std::numeric_limits<std::uint16_t>::max());
+  BufReader r(w.view());
+  EXPECT_EQ(r.u16(), 0u);
+  EXPECT_EQ(r.u16(), 0xBEEFu);
+  EXPECT_EQ(r.u16(), std::numeric_limits<std::uint16_t>::max());
+}
+
+TEST(Serde, U32RoundTrip) {
+  BufWriter w;
+  w.u32(0xDEADBEEF);
+  BufReader r(w.view());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+}
+
+TEST(Serde, U64RoundTrip) {
+  BufWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.u64(1);
+  BufReader r(w.view());
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.u64(), 1u);
+}
+
+TEST(Serde, I64RoundTripNegative) {
+  BufWriter w;
+  w.i64(-1);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.i64(std::numeric_limits<std::int64_t>::max());
+  BufReader r(w.view());
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Serde, F64RoundTrip) {
+  BufWriter w;
+  w.f64(3.14159265358979);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  BufReader r(w.view());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Serde, BooleanRoundTrip) {
+  BufWriter w;
+  w.boolean(true);
+  w.boolean(false);
+  BufReader r(w.view());
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+}
+
+TEST(Serde, BooleanRejectsMalformed) {
+  BufWriter w;
+  w.u8(2);
+  BufReader r(w.view());
+  EXPECT_THROW((void)r.boolean(), SerdeError);
+}
+
+TEST(Serde, VarintSmallValuesAreOneByte) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull}) {
+    BufWriter w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    BufReader r(w.view());
+    EXPECT_EQ(r.varint(), v);
+  }
+}
+
+TEST(Serde, VarintBoundaries) {
+  const std::uint64_t cases[] = {128, 16383, 16384, std::uint64_t{1} << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    BufWriter w;
+    w.varint(v);
+    BufReader r(w.view());
+    EXPECT_EQ(r.varint(), v) << v;
+  }
+}
+
+TEST(Serde, VarintMaxUsesTenBytes) {
+  BufWriter w;
+  w.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(Serde, VarintRejectsOverlong) {
+  Bytes evil(11, std::byte{0x80});
+  BufReader r(evil);
+  EXPECT_THROW((void)r.varint(), SerdeError);
+}
+
+TEST(Serde, VarintRejectsOverflow) {
+  // 10 bytes whose top byte pushes past 64 bits.
+  Bytes evil(9, std::byte{0x80});
+  evil.push_back(std::byte{0x7f});
+  BufReader r(evil);
+  EXPECT_THROW((void)r.varint(), SerdeError);
+}
+
+TEST(Serde, BytesRoundTrip) {
+  Bytes payload = to_bytes("hello wire");
+  BufWriter w;
+  w.bytes(payload);
+  BufReader r(w.view());
+  EXPECT_EQ(r.bytes(), payload);
+}
+
+TEST(Serde, EmptyBytesRoundTrip) {
+  BufWriter w;
+  w.bytes(Bytes{});
+  BufReader r(w.view());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, StringRoundTrip) {
+  BufWriter w;
+  w.str("");
+  w.str("abc");
+  w.str(std::string(1000, 'x'));
+  BufReader r(w.view());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "abc");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Serde, ProcessIdRoundTrip) {
+  BufWriter w;
+  w.process_id(ProcessId{42});
+  BufReader r(w.view());
+  EXPECT_EQ(r.process_id(), ProcessId{42});
+}
+
+TEST(Serde, RawPreservesFraming) {
+  BufWriter inner;
+  inner.u32(7);
+  BufWriter w;
+  w.raw(inner.view());
+  BufReader r(w.view());
+  EXPECT_EQ(r.u32(), 7u);
+}
+
+TEST(Serde, TruncatedReadThrows) {
+  BufWriter w;
+  w.u16(99);
+  BufReader r(w.view());
+  EXPECT_THROW((void)r.u32(), SerdeError);
+}
+
+TEST(Serde, TruncatedBytesThrows) {
+  BufWriter w;
+  w.varint(100);  // claims 100 bytes follow
+  w.u8(1);
+  BufReader r(w.view());
+  EXPECT_THROW((void)r.bytes(), SerdeError);
+}
+
+TEST(Serde, ExpectDoneThrowsOnTrailingGarbage) {
+  BufWriter w;
+  w.u8(1);
+  w.u8(2);
+  BufReader r(w.view());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), SerdeError);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  BufWriter w;
+  w.u64(1);
+  BufReader r(w.view());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Serde, ReaderRawBoundsChecked) {
+  BufWriter w;
+  w.u8(1);
+  BufReader r(w.view());
+  EXPECT_THROW((void)r.raw(2), SerdeError);
+}
+
+TEST(Serde, TakeMovesBuffer) {
+  BufWriter w;
+  w.u32(5);
+  Bytes b = std::move(w).take();
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(Serde, TextHelpersRoundTrip) {
+  const std::string s = "determinant";
+  EXPECT_EQ(to_text(to_bytes(s)), s);
+}
+
+TEST(Serde, DeterministicEncoding) {
+  auto enc = [] {
+    BufWriter w;
+    w.u32(1);
+    w.varint(300);
+    w.str("abc");
+    return std::move(w).take();
+  };
+  EXPECT_EQ(enc(), enc());
+}
+
+TEST(Serde, ReserveDoesNotAffectContent) {
+  BufWriter a(1024);
+  BufWriter b;
+  a.u64(77);
+  b.u64(77);
+  EXPECT_EQ(a.view(), b.view());
+}
+
+}  // namespace
+}  // namespace rr

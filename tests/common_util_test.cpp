@@ -1,0 +1,150 @@
+// Rng, Hasher, time helpers and identifier types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, UniformCoversClosedRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialPositiveWithRoughMean) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.exponential(10.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.5);
+}
+
+TEST(Rng, ForkIsUseIndependent) {
+  Rng a(9);
+  Rng fork_before = a.fork("stream");
+  (void)a.next_u64();
+  (void)a.next_u64();
+  Rng fork_after = a.fork("stream");
+  EXPECT_EQ(fork_before.next_u64(), fork_after.next_u64());
+}
+
+TEST(Rng, ForksByLabelAreIndependent) {
+  Rng a(9);
+  Rng x = a.fork("x");
+  Rng y = a.fork("y");
+  EXPECT_NE(x.next_u64(), y.next_u64());
+}
+
+TEST(Rng, ForkByIdDiffers) {
+  Rng a(9);
+  EXPECT_NE(a.fork(std::uint64_t{1}).next_u64(), a.fork(std::uint64_t{2}).next_u64());
+}
+
+TEST(Hash, EmptyIsFnvOffset) {
+  EXPECT_EQ(Hasher{}.digest(), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, OrderSensitive) {
+  EXPECT_NE(Hasher{}.mix_u64(1).mix_u64(2).digest(), Hasher{}.mix_u64(2).mix_u64(1).digest());
+}
+
+TEST(Hash, StringAndBytesAgree) {
+  const std::string s = "abc";
+  EXPECT_EQ(Hasher{}.mix(s).digest(), hash_bytes(to_bytes(s)));
+}
+
+TEST(Hash, Deterministic) {
+  auto go = [] { return Hasher{}.mix("x").mix_u64(42).mix_i64(-1).digest(); };
+  EXPECT_EQ(go(), go());
+}
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(5)), 5.0);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_duration(seconds(2)), "2.000s");
+  EXPECT_EQ(format_duration(milliseconds(3)), "3.000ms");
+  EXPECT_EQ(format_duration(microseconds(4)), "4.000us");
+  EXPECT_EQ(format_duration(500), "500ns");
+}
+
+TEST(ProcessId, ValidityAndOrdering) {
+  EXPECT_FALSE(kNoProcess.valid());
+  EXPECT_TRUE(ProcessId{0}.valid());
+  EXPECT_LT(ProcessId{1}, ProcessId{2});
+  EXPECT_EQ(ProcessId{3}, ProcessId{3});
+}
+
+TEST(ProcessId, ToString) {
+  EXPECT_EQ(to_string(ProcessId{5}), "p5");
+  EXPECT_EQ(to_string(kNoProcess), "p?");
+}
+
+TEST(ProcessId, HashUsableInUnorderedContainers) {
+  std::hash<ProcessId> h;
+  EXPECT_NE(h(ProcessId{1}), h(ProcessId{2}));
+}
+
+}  // namespace
+}  // namespace rr

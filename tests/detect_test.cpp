@@ -1,0 +1,139 @@
+// Heartbeat failure detector: detection latency bounds, absence of false
+// positives under regular heartbeats, and un-suspicion.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+
+namespace rr::detect {
+namespace {
+
+struct DetectorFixture : ::testing::Test {
+  sim::Simulator sim;
+  DetectorConfig config{milliseconds(100), milliseconds(500)};
+  int beats_sent = 0;
+  std::vector<std::pair<ProcessId, bool>> changes;
+  std::unique_ptr<FailureDetector> det_;
+
+  FailureDetector& make(ProcessId self = ProcessId{0}) {
+    det_ = std::make_unique<FailureDetector>(
+        sim, self, config, [this] { ++beats_sent; },
+        [this](ProcessId p, bool s) { changes.emplace_back(p, s); });
+    det_->set_peers({ProcessId{0}, ProcessId{1}, ProcessId{2}});
+    return *det_;
+  }
+};
+
+TEST_F(DetectorFixture, SendsImmediateAndPeriodicHeartbeats) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(350));
+  // t=0 (immediate) plus t=100,200,300.
+  EXPECT_EQ(beats_sent, 4);
+}
+
+TEST_F(DetectorFixture, SilentPeerSuspectedAfterTimeout) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(1000));
+  EXPECT_TRUE(det.suspects(ProcessId{1}));
+  EXPECT_TRUE(det.suspects(ProcessId{2}));
+  // Suspicion fires after timeout (500 ms), at a sweep boundary.
+  ASSERT_FALSE(changes.empty());
+  EXPECT_TRUE(changes[0].second);
+}
+
+TEST_F(DetectorFixture, HeartbeatsPreventSuspicion) {
+  auto& det = make();
+  det.start();
+  for (int t = 100; t <= 2000; t += 100) {
+    sim.schedule_at(milliseconds(t), [&] { det.on_heartbeat(ProcessId{1}); });
+  }
+  sim.run_until(milliseconds(2000));
+  EXPECT_FALSE(det.suspects(ProcessId{1}));
+  EXPECT_TRUE(det.suspects(ProcessId{2}));  // p2 stayed silent
+}
+
+TEST_F(DetectorFixture, HeartbeatUnsuspects) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(1000));
+  ASSERT_TRUE(det.suspects(ProcessId{1}));
+  det.on_heartbeat(ProcessId{1});
+  EXPECT_FALSE(det.suspects(ProcessId{1}));
+  // The change log saw suspect-then-clear for p1.
+  bool saw_clear = false;
+  for (const auto& [p, s] : changes) {
+    if (p == ProcessId{1} && !s) saw_clear = true;
+  }
+  EXPECT_TRUE(saw_clear);
+}
+
+TEST_F(DetectorFixture, SelfIsNeverMonitored) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(2000));
+  EXPECT_FALSE(det.suspects(ProcessId{0}));
+}
+
+TEST_F(DetectorFixture, UnknownPeerNotSuspected) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(2000));
+  EXPECT_FALSE(det.suspects(ProcessId{99}));
+  det.on_heartbeat(ProcessId{99});  // ignored, no crash
+}
+
+TEST_F(DetectorFixture, SuspectedListSorted) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(1000));
+  const auto s = det.suspected();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], ProcessId{1});
+  EXPECT_EQ(s[1], ProcessId{2});
+}
+
+TEST_F(DetectorFixture, StopFreezesDetection) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(200));
+  det.stop();
+  sim.run_until(milliseconds(5000));
+  EXPECT_FALSE(det.suspects(ProcessId{1}));
+  EXPECT_EQ(beats_sent, 3);  // 0, 100, 200
+}
+
+TEST_F(DetectorFixture, RestartResetsLivenessClock) {
+  auto& det = make();
+  det.start();
+  sim.run_until(milliseconds(1000));
+  EXPECT_TRUE(det.suspects(ProcessId{1}));
+  det.stop();
+  det.set_peers({ProcessId{0}, ProcessId{1}, ProcessId{2}});
+  det.start();
+  EXPECT_FALSE(det.suspects(ProcessId{1}));
+  sim.run_until(milliseconds(1300));
+  EXPECT_FALSE(det.suspects(ProcessId{1}));  // grace period restarted
+}
+
+TEST_F(DetectorFixture, DetectionLatencyWithinTimeoutPlusSweep) {
+  auto& det = make();
+  det.start();
+  Time suspected_at = 0;
+  // Heartbeats until t=500, then silence.
+  for (int t = 100; t <= 500; t += 100) {
+    sim.schedule_at(milliseconds(t), [&] { det.on_heartbeat(ProcessId{1}); });
+  }
+  while (sim.now() < milliseconds(3000) && !det.suspects(ProcessId{1})) {
+    sim.run_until(sim.now() + milliseconds(10));
+  }
+  suspected_at = sim.now();
+  // Silence began at 500; suspicion must land in (500+timeout, +sweep].
+  EXPECT_GT(suspected_at, milliseconds(1000));
+  EXPECT_LE(suspected_at, milliseconds(1000) + config.heartbeat_period + milliseconds(10));
+}
+
+}  // namespace
+}  // namespace rr::detect

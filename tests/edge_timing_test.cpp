@@ -1,0 +1,146 @@
+// Edge-timing scenarios: crashes landing inside other mechanisms' windows —
+// mid-checkpoint, while blocked by someone else's recovery, while deferring
+// unsafe messages, mid-determinant-flush, and during the boot sequence.
+#include <gtest/gtest.h>
+
+#include "app/workloads.hpp"
+#include "test_util.hpp"
+
+namespace rr {
+namespace {
+
+using harness::ScenarioConfig;
+using recovery::Algorithm;
+using test::fast_cluster;
+
+TEST(EdgeTiming, CrashDuringCheckpointWriteRestoresPreviousImage) {
+  // Checkpoints commit on the device even if the node dies first (queued
+  // writes complete); either way a loadable image exists. Crash right at a
+  // checkpoint boundary and verify recovery proceeds from *some* committed
+  // checkpoint without gaps.
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kNonBlocking, 41);
+  sc.factory = test::gossip_factory();
+  // First periodic checkpoints initiate at 2s + 37ms*(pid+1); p1's write is
+  // in flight right after 2.074s.
+  sc.crashes = {{ProcessId{1}, milliseconds(2'080)}};
+  sc.horizon = seconds(8);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.det_gaps, 0u);
+}
+
+TEST(EdgeTiming, BlockedLiveProcessCrashesWhileBlocked) {
+  // Under the blocking baseline, p2 stalls for p1's recovery and then
+  // crashes itself mid-stall. Its buffered frames die with it; both
+  // recoveries must complete and the survivors unblock for both.
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kBlocking, 42);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{1}, seconds(3)},
+                {ProcessId{2}, milliseconds(3'660)}};  // inside p1's replay window
+  sc.horizon = seconds(10);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size(), 2u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  // The surviving pair blocked at least once and is unblocked at the end.
+  EXPECT_GE(r.counter("recovery.block_episodes"), 2u);
+}
+
+TEST(EdgeTiming, DeferringProcessCrashesWhileDeferring) {
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kDeferUnsafe, 43);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{1}, seconds(3)}, {ProcessId{3}, milliseconds(3'660)}};
+  sc.horizon = seconds(10);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size(), 2u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  EXPECT_GE(r.counter("recovery.live_sync_writes"), 3u);
+}
+
+TEST(EdgeTiming, CrashDuringDetFlushOnStableInstance) {
+  // f = n: determinant blocks stream to stable storage; crash with a flush
+  // in flight. Restore must merge whatever blocks committed and recover
+  // gap-free.
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 4, Algorithm::kNonBlocking, 44);
+  sc.cluster.det_flush_period = milliseconds(100);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{2}, milliseconds(3'050)}};  // flush cadence boundary
+  sc.horizon = seconds(8);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  EXPECT_GT(r.counter("fbl.dets_flushed"), 0u);
+}
+
+TEST(EdgeTiming, CrashDuringBootRecoversFromPreStartCheckpoint) {
+  // Crash before the first periodic checkpoint: restore uses the pre-start
+  // boot image and must re-execute on_start deterministically (the test
+  // oracle is simply full recovery + no receipt-order gaps).
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kNonBlocking, 45);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{0}, milliseconds(120)}};  // soon after on_start ran
+  sc.horizon = seconds(8);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  // Gossip keeps flowing (the launcher's tokens were regenerated).
+  EXPECT_GT(r.app_delivered, 1000u);
+}
+
+TEST(EdgeTiming, BackToBackCrashOfEveryProcessSequentially) {
+  // Rolling failures: each process crashes in turn, recoveries overlapping
+  // with normal traffic. The system must end idle with one recovery per
+  // crash and monotone incarnations everywhere.
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kNonBlocking, 46);
+  sc.factory = test::gossip_factory();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    sc.crashes.push_back({ProcessId{i}, seconds(2) + seconds(2) * i});
+  }
+  sc.horizon = seconds(14);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size(), 4u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  for (const auto& t : r.recoveries) EXPECT_EQ(t.inc, 2u);
+}
+
+TEST(EdgeTiming, TwoCrashesSameInstant) {
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(5, 2, Algorithm::kNonBlocking, 47);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{1}, seconds(3)}, {ProcessId{2}, seconds(3)}};  // same tick
+  sc.horizon = seconds(10);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size(), 2u);
+  EXPECT_EQ(r.det_gaps, 0u);
+  // One batch: a single leader round covered both (no restart needed when
+  // both register before the gather).
+  EXPECT_LE(r.gather_restarts, 1u);
+}
+
+TEST(EdgeTiming, CrashImmediatelyAfterRecoveryCompletes) {
+  ScenarioConfig sc;
+  sc.cluster = fast_cluster(4, 2, Algorithm::kNonBlocking, 48);
+  sc.factory = test::gossip_factory();
+  sc.crashes = {{ProcessId{1}, seconds(3)},
+                {ProcessId{1}, milliseconds(3'900)}};  // right after completion (~3.75s)
+  sc.horizon = seconds(10);
+  const auto r = harness::run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_EQ(r.recoveries.size() + r.counter("recovery.abandoned"), 2u);
+  EXPECT_EQ(r.det_gaps, 0u);
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,94 @@
+// IncVector and Watermarks: the two little maps that carry the protocol's
+// rejection and dedup decisions.
+#include <gtest/gtest.h>
+
+#include "fbl/inc_vector.hpp"
+#include "fbl/watermarks.hpp"
+
+namespace rr::fbl {
+namespace {
+
+TEST(IncVectorTest, DefaultFloorIsOne) {
+  IncVector v;
+  EXPECT_EQ(incarnation_of(v, ProcessId{3}), 1u);
+  EXPECT_FALSE(is_stale(v, ProcessId{3}, 1));
+  EXPECT_TRUE(is_stale(v, ProcessId{3}, 0));
+}
+
+TEST(IncVectorTest, RaiseIsMonotone) {
+  IncVector v;
+  raise_incarnation(v, ProcessId{1}, 4);
+  EXPECT_EQ(incarnation_of(v, ProcessId{1}), 4u);
+  raise_incarnation(v, ProcessId{1}, 2);  // lower: ignored
+  EXPECT_EQ(incarnation_of(v, ProcessId{1}), 4u);
+  raise_incarnation(v, ProcessId{1}, 9);
+  EXPECT_EQ(incarnation_of(v, ProcessId{1}), 9u);
+}
+
+TEST(IncVectorTest, StaleRule) {
+  IncVector v;
+  raise_incarnation(v, ProcessId{2}, 3);
+  EXPECT_TRUE(is_stale(v, ProcessId{2}, 2));
+  EXPECT_FALSE(is_stale(v, ProcessId{2}, 3));
+  EXPECT_FALSE(is_stale(v, ProcessId{2}, 4));
+  // Other processes unaffected.
+  EXPECT_FALSE(is_stale(v, ProcessId{1}, 1));
+}
+
+TEST(IncVectorTest, MergeMaxIsEntrywise) {
+  IncVector a, b;
+  raise_incarnation(a, ProcessId{0}, 5);
+  raise_incarnation(a, ProcessId{1}, 2);
+  raise_incarnation(b, ProcessId{1}, 7);
+  raise_incarnation(b, ProcessId{2}, 3);
+  merge_max(a, b);
+  EXPECT_EQ(incarnation_of(a, ProcessId{0}), 5u);
+  EXPECT_EQ(incarnation_of(a, ProcessId{1}), 7u);
+  EXPECT_EQ(incarnation_of(a, ProcessId{2}), 3u);
+}
+
+TEST(IncVectorTest, SerdeRoundTrip) {
+  IncVector v;
+  raise_incarnation(v, ProcessId{0}, 2);
+  raise_incarnation(v, ProcessId{7}, 9);
+  BufWriter w;
+  encode(w, v);
+  BufReader r(w.view());
+  EXPECT_EQ(decode_inc_vector(r), v);
+  r.expect_done();
+}
+
+TEST(WatermarksTest, DefaultIsZero) {
+  Watermarks m;
+  EXPECT_EQ(watermark_of(m, ProcessId{5}), 0u);
+}
+
+TEST(WatermarksTest, RaiseIsMonotone) {
+  Watermarks m;
+  raise_watermark(m, ProcessId{1}, 10);
+  raise_watermark(m, ProcessId{1}, 4);
+  EXPECT_EQ(watermark_of(m, ProcessId{1}), 10u);
+  raise_watermark(m, ProcessId{1}, 11);
+  EXPECT_EQ(watermark_of(m, ProcessId{1}), 11u);
+}
+
+TEST(WatermarksTest, SerdeRoundTrip) {
+  Watermarks m;
+  m[ProcessId{0}] = 42;
+  m[ProcessId{9}] = 1;
+  BufWriter w;
+  encode(w, m);
+  BufReader r(w.view());
+  EXPECT_EQ(decode_watermarks(r), m);
+}
+
+TEST(WatermarksTest, EmptySerde) {
+  BufWriter w;
+  encode(w, Watermarks{});
+  BufReader r(w.view());
+  EXPECT_TRUE(decode_watermarks(r).empty());
+  r.expect_done();
+}
+
+}  // namespace
+}  // namespace rr::fbl

@@ -1,0 +1,112 @@
+// Experiment harness: table formatting and scenario-result plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiments.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "test_util.hpp"
+
+namespace rr::harness {
+namespace {
+
+TEST(Table, FormatsAlignedGrid) {
+  Table t("demo", {"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| col    | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Exactly 3 rule lines: top, below header, bottom.
+  std::size_t rules = 0;
+  std::istringstream lines(out);
+  for (std::string line; std::getline(lines, line);) rules += line.starts_with("+-");
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t("demo", {"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "row width");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::ms(milliseconds(5), 1), "5.0 ms");
+  EXPECT_EQ(Table::secs(milliseconds(2500), 2), "2.50 s");
+}
+
+TEST(Scenario, FailureFreeRunReportsIdleAndTraffic) {
+  ScenarioConfig sc;
+  sc.cluster = test::fast_cluster(3, 1, recovery::Algorithm::kNonBlocking);
+  sc.factory = test::gossip_factory();
+  sc.horizon = seconds(3);
+  const auto r = run_scenario(sc);
+  EXPECT_TRUE(r.idle);
+  EXPECT_GT(r.app_delivered, 100u);
+  EXPECT_GT(r.app_sent, 100u);
+  EXPECT_TRUE(r.recoveries.empty());
+  EXPECT_EQ(r.blocked.size(), 3u);
+  EXPECT_EQ(r.total_blocked(), 0);
+}
+
+TEST(Scenario, CounterAccessorOutlivesCluster) {
+  ScenarioConfig sc;
+  sc.cluster = test::fast_cluster(3, 1, recovery::Algorithm::kNonBlocking);
+  sc.factory = test::gossip_factory();
+  sc.horizon = seconds(2);
+  const auto r = run_scenario(sc);
+  EXPECT_GT(r.counter("app.sent"), 0u);
+  EXPECT_EQ(r.counter("no.such.counter"), 0u);
+}
+
+TEST(Scenario, InspectHookSeesLiveCluster) {
+  ScenarioConfig sc;
+  sc.cluster = test::fast_cluster(3, 1, recovery::Algorithm::kNonBlocking);
+  sc.factory = test::gossip_factory();
+  sc.horizon = seconds(2);
+  bool inspected = false;
+  run_scenario(sc, [&](runtime::Cluster& cluster) {
+    inspected = true;
+    EXPECT_EQ(cluster.pids().size(), 3u);
+  });
+  EXPECT_TRUE(inspected);
+}
+
+TEST(Scenario, MeanLiveBlockedExcludesCrashedProcesses) {
+  ScenarioResult r;
+  r.blocked = {{ProcessId{0}, milliseconds(10), 1},
+               {ProcessId{1}, milliseconds(90), 1},
+               {ProcessId{2}, milliseconds(20), 1}};
+  const std::vector<CrashEvent> crashes = {{ProcessId{1}, seconds(1)}};
+  EXPECT_EQ(r.mean_live_blocked(crashes), milliseconds(15));
+  EXPECT_EQ(r.max_blocked(), milliseconds(90));
+  EXPECT_EQ(r.total_blocked(), milliseconds(120));
+}
+
+TEST(PaperSetupTest, TestbedMatchesCalibration) {
+  const auto cfg = PaperSetup::testbed(recovery::Algorithm::kBlocking);
+  EXPECT_EQ(cfg.num_processes, 8u);
+  EXPECT_EQ(cfg.f, 2u);
+  EXPECT_EQ(cfg.algorithm, recovery::Algorithm::kBlocking);
+  EXPECT_EQ(cfg.net.base_latency, microseconds(250));
+  EXPECT_NEAR(cfg.net.bytes_per_second, 155e6 / 8.0, 1.0);
+  EXPECT_EQ(cfg.storage.seek_latency, milliseconds(12));
+  EXPECT_EQ(cfg.supervisor_restart_delay, seconds(2));
+}
+
+TEST(PaperSetupTest, WorkloadLaunchesOnlyFromSources) {
+  const auto factory = PaperSetup::workload(1024, 2);
+  auto p0 = factory(ProcessId{0});
+  auto p5 = factory(ProcessId{5});
+  // Padded snapshots regardless of role.
+  EXPECT_GE(p0->snapshot().size(), 1024u);
+  EXPECT_GE(p5->snapshot().size(), 1024u);
+}
+
+}  // namespace
+}  // namespace rr::harness

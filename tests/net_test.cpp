@@ -1,0 +1,196 @@
+// Simulated network: latency model, per-channel FIFO, crash-drop semantics
+// and byte accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::net {
+namespace {
+
+struct Sink : Endpoint {
+  std::vector<std::pair<ProcessId, Bytes>> received;
+  std::vector<Time> at;
+  sim::Simulator* sim{nullptr};
+
+  void deliver(ProcessId src, Bytes payload) override {
+    received.emplace_back(src, std::move(payload));
+    if (sim != nullptr) at.push_back(sim->now());
+  }
+};
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim{7};
+  metrics::Registry metrics;
+  NetworkConfig config;
+  Sink a, b, c;
+  std::unique_ptr<Network> net_;
+
+  Network& make() {
+    net_ = std::make_unique<Network>(sim, config, metrics);
+    net_->attach(ProcessId{0}, a);
+    net_->attach(ProcessId{1}, b);
+    net_->attach(ProcessId{2}, c);
+    a.sim = b.sim = c.sim = &sim;
+    return *net_;
+  }
+};
+
+TEST_F(NetFixture, DeliversPayloadVerbatim) {
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, to_bytes("ping"));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ProcessId{0});
+  EXPECT_EQ(to_text(b.received[0].second), "ping");
+}
+
+TEST_F(NetFixture, LatencyAtLeastBase) {
+  config.jitter_max = 0;
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(100));
+  sim.run();
+  ASSERT_EQ(b.at.size(), 1u);
+  EXPECT_GE(b.at[0], config.base_latency);
+}
+
+TEST_F(NetFixture, BandwidthAddsSerializationDelay) {
+  config.jitter_max = 0;
+  config.bytes_per_second = 1e6;  // 1 MB/s
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(100'000));
+  sim.run();
+  ASSERT_EQ(b.at.size(), 1u);
+  // 100 KB at 1 MB/s = 100 ms of serialization on top of base latency.
+  EXPECT_GE(b.at[0], config.base_latency + milliseconds(100));
+}
+
+TEST_F(NetFixture, FifoPerChannelDespiteJitter) {
+  config.jitter_max = milliseconds(5);  // large jitter vs 250us base
+  auto& net = make();
+  for (int i = 0; i < 50; ++i) {
+    BufWriter w;
+    w.u32(static_cast<std::uint32_t>(i));
+    net.send(ProcessId{0}, ProcessId{1}, std::move(w).take());
+  }
+  sim.run();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    BufReader r(b.received[i].second);
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_F(NetFixture, SendFromDownEndpointIsDropped) {
+  auto& net = make();
+  net.set_up(ProcessId{0}, false);
+  EXPECT_EQ(net.send(ProcessId{0}, ProcessId{1}, Bytes(10)), 0u);
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(metrics.counter_value("net.dropped_at_send"), 1u);
+}
+
+TEST_F(NetFixture, InFlightToDownEndpointIsDropped) {
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(10));
+  net.set_up(ProcessId{1}, false);  // crashes before delivery
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(metrics.counter_value("net.dropped_at_delivery"), 1u);
+}
+
+TEST_F(NetFixture, InFlightFromCrashedSenderStillArrives) {
+  // The stale-message hazard: packets survive their sender's crash.
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, to_bytes("ghost"));
+  net.set_up(ProcessId{0}, false);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(to_text(b.received[0].second), "ghost");
+}
+
+TEST_F(NetFixture, RecoveredEndpointReceivesAgain) {
+  auto& net = make();
+  net.set_up(ProcessId{1}, false);
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(1));
+  sim.run();
+  net.set_up(ProcessId{1}, true);
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(2));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second.size(), 2u);
+}
+
+TEST_F(NetFixture, BroadcastReachesAllButSender) {
+  auto& net = make();
+  net.broadcast(ProcessId{0}, to_bytes("hi"));
+  sim.run();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(NetFixture, BytesChargedIncludeHeader) {
+  auto& net = make();
+  const std::size_t charged = net.send(ProcessId{0}, ProcessId{1}, Bytes(100));
+  EXPECT_EQ(charged, 100u + Network::kHeaderBytes);
+  EXPECT_EQ(metrics.counter_value("net.bytes"), charged);
+  EXPECT_EQ(metrics.counter_value("net.packets"), 1u);
+}
+
+TEST_F(NetFixture, AttachedListsSorted) {
+  auto& net = make();
+  const auto ids = net.attached();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ProcessId{0});
+  EXPECT_EQ(ids[2], ProcessId{2});
+}
+
+TEST_F(NetFixture, DetachRemovesEndpoint) {
+  auto& net = make();
+  net.detach(ProcessId{2});
+  EXPECT_EQ(net.attached().size(), 2u);
+  EXPECT_FALSE(net.is_up(ProcessId{2}));
+}
+
+TEST_F(NetFixture, IndependentChannelsDoNotSerializeEachOther) {
+  config.jitter_max = 0;
+  auto& net = make();
+  net.send(ProcessId{0}, ProcessId{1}, Bytes(10));
+  net.send(ProcessId{2}, ProcessId{1}, Bytes(10));
+  sim.run();
+  ASSERT_EQ(b.at.size(), 2u);
+  // Both arrive at the same base-latency time (different channels).
+  EXPECT_EQ(b.at[0], b.at[1]);
+}
+
+TEST_F(NetFixture, DeterministicDeliveryTimes) {
+  std::vector<Time> first_run;
+  {
+    sim::Simulator s1(11);
+    Network net(s1, config, metrics);
+    Sink x, y;
+    x.sim = y.sim = &s1;
+    net.attach(ProcessId{0}, x);
+    net.attach(ProcessId{1}, y);
+    for (int i = 0; i < 10; ++i) net.send(ProcessId{0}, ProcessId{1}, Bytes(i));
+    s1.run();
+    first_run = y.at;
+  }
+  sim::Simulator s2(11);
+  Network net(s2, config, metrics);
+  Sink x, y;
+  x.sim = y.sim = &s2;
+  net.attach(ProcessId{0}, x);
+  net.attach(ProcessId{1}, y);
+  for (int i = 0; i < 10; ++i) net.send(ProcessId{0}, ProcessId{1}, Bytes(i));
+  s2.run();
+  EXPECT_EQ(first_run, y.at);
+}
+
+}  // namespace
+}  // namespace rr::net

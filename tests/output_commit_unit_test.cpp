@@ -1,0 +1,175 @@
+// OutputCommitManager driven by scripted hooks: barrier computation, push
+// targeting, ack handling, ordering and crash semantics — without a
+// cluster.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "recovery/output_commit.hpp"
+
+namespace rr::recovery {
+namespace {
+
+constexpr ProcessId kSelf{0};
+
+struct Harness {
+  sim::Simulator sim;
+  metrics::Registry metrics;
+  fbl::DeterminantLog log;
+  std::vector<std::pair<ProcessId, DetPush>> pushes;
+  std::vector<std::pair<std::uint64_t, Bytes>> released;
+  int flushes = 0;
+  std::set<ProcessId> suspected;
+  std::unique_ptr<OutputCommitManager> mgr;
+
+  explicit Harness(std::uint32_t f = 2, bool stable = false) {
+    log.set_propagation_threshold(static_cast<int>(f) + 1);
+    mgr = std::make_unique<OutputCommitManager>(
+        sim, kSelf, f, stable,
+        OutputCommitManager::Hooks{
+            .send_ctrl =
+                [this](ProcessId to, const ControlMessage& m) {
+                  if (const auto* p = std::get_if<DetPush>(&m)) pushes.emplace_back(to, *p);
+                },
+            .det_log = [this]() -> const fbl::DeterminantLog& { return log; },
+            .add_holders =
+                [this](const fbl::Determinant& d, fbl::HolderMask extra) {
+                  log.add_holders(d, extra);
+                },
+            .peers =
+                [] {
+                  return std::vector<ProcessId>{ProcessId{1}, ProcessId{2}, ProcessId{3},
+                                                ProcessId{4}};
+                },
+            .is_suspected = [this](ProcessId p) { return suspected.contains(p); },
+            .force_flush = [this] { ++flushes; },
+            .release =
+                [this](std::uint64_t id, const Bytes& payload) {
+                  released.emplace_back(id, payload);
+                },
+        },
+        metrics);
+  }
+
+  fbl::Determinant my_receipt(Rsn rsn) {
+    fbl::Determinant d{ProcessId{1}, rsn, kSelf, rsn};
+    log.record({d, fbl::holder_bit(kSelf)});
+    return d;
+  }
+};
+
+TEST(OutputCommitUnit, EmptyBarrierReleasesSynchronously) {
+  Harness h;
+  const auto id = h.mgr->commit(to_bytes("free"));
+  EXPECT_EQ(id, 1u);
+  ASSERT_EQ(h.released.size(), 1u);
+  EXPECT_EQ(h.released[0].first, 1u);
+  EXPECT_TRUE(h.pushes.empty());
+}
+
+TEST(OutputCommitUnit, PushesToExactlyMissingHolders) {
+  Harness h(2);
+  (void)h.my_receipt(1);  // holders: {self} -> needs 2 more for f+1 = 3
+  h.mgr->commit(to_bytes("guarded"));
+  EXPECT_TRUE(h.released.empty());
+  ASSERT_EQ(h.pushes.size(), 2u);
+  EXPECT_EQ(h.pushes[0].first, ProcessId{1});
+  EXPECT_EQ(h.pushes[1].first, ProcessId{2});
+}
+
+TEST(OutputCommitUnit, ReleasesAfterAllAcks) {
+  Harness h(2);
+  (void)h.my_receipt(1);
+  h.mgr->commit(to_bytes("guarded"));
+  h.mgr->on_ack(h.pushes[0].first, DetAck{h.pushes[0].second.seq});
+  EXPECT_TRUE(h.released.empty());  // 2 of 3 holders so far
+  h.mgr->on_ack(h.pushes[1].first, DetAck{h.pushes[1].second.seq});
+  ASSERT_EQ(h.released.size(), 1u);
+  EXPECT_EQ(to_text(h.released[0].second), "guarded");
+  EXPECT_EQ(h.mgr->pending(), 0u);
+}
+
+TEST(OutputCommitUnit, BogusAcksIgnored) {
+  Harness h(2);
+  (void)h.my_receipt(1);
+  h.mgr->commit(to_bytes("guarded"));
+  h.mgr->on_ack(ProcessId{9}, DetAck{h.pushes[0].second.seq});  // wrong peer
+  h.mgr->on_ack(h.pushes[0].first, DetAck{999});                // wrong seq
+  EXPECT_TRUE(h.released.empty());
+}
+
+TEST(OutputCommitUnit, SuspectedPeersSkipped) {
+  Harness h(2);
+  h.suspected = {ProcessId{1}, ProcessId{2}};
+  (void)h.my_receipt(1);
+  h.mgr->commit(to_bytes("guarded"));
+  ASSERT_EQ(h.pushes.size(), 2u);
+  EXPECT_EQ(h.pushes[0].first, ProcessId{3});
+  EXPECT_EQ(h.pushes[1].first, ProcessId{4});
+}
+
+TEST(OutputCommitUnit, OutputsReleaseInCommitOrder) {
+  Harness h(2);
+  (void)h.my_receipt(1);
+  h.mgr->commit(to_bytes("first"));
+  h.mgr->commit(to_bytes("second"));  // barrier already satisfied? no: same det
+  h.mgr->on_ack(h.pushes[0].first, DetAck{h.pushes[0].second.seq});
+  h.mgr->on_ack(h.pushes[1].first, DetAck{h.pushes[1].second.seq});
+  ASSERT_EQ(h.released.size(), 2u);
+  EXPECT_EQ(to_text(h.released[0].second), "first");
+  EXPECT_EQ(to_text(h.released[1].second), "second");
+}
+
+TEST(OutputCommitUnit, RetryTimerRepushesAfterSilence) {
+  Harness h(2);
+  (void)h.my_receipt(1);
+  h.mgr->commit(to_bytes("guarded"));
+  const auto first_targets = h.pushes.size();
+  ASSERT_EQ(first_targets, 2u);
+  // Nobody acks; mark the original targets suspected so the retry pivots.
+  h.suspected = {h.pushes[0].first, h.pushes[1].first};
+  h.sim.run_until(milliseconds(250));
+  // Two replacement holders recruited from the remaining peers.
+  ASSERT_EQ(h.pushes.size(), first_targets + 2);
+  EXPECT_EQ(h.pushes[first_targets].first, ProcessId{3});
+  EXPECT_EQ(h.pushes[first_targets + 1].first, ProcessId{4});
+}
+
+TEST(OutputCommitUnit, StableInstanceUsesFlush) {
+  Harness h(4, /*stable=*/true);
+  const auto d = h.my_receipt(1);
+  h.mgr->commit(to_bytes("durable"));
+  EXPECT_GE(h.flushes, 1);
+  EXPECT_TRUE(h.pushes.empty());
+  // Flush completion marks the determinant stable; the manager re-pumps.
+  h.log.add_holders(d, fbl::kStableHolder);
+  h.mgr->on_stability_changed();
+  ASSERT_EQ(h.released.size(), 1u);
+}
+
+TEST(OutputCommitUnit, ResetDropsQueueAndRestartsIds) {
+  Harness h(2);
+  (void)h.my_receipt(1);
+  EXPECT_EQ(h.mgr->commit(to_bytes("doomed")), 1u);
+  EXPECT_EQ(h.mgr->pending(), 1u);
+  h.mgr->reset();
+  EXPECT_EQ(h.mgr->pending(), 0u);
+  EXPECT_TRUE(h.released.empty());
+  EXPECT_EQ(h.metrics.counter_value("output.lost_to_crash"), 1u);
+  // Deterministic regeneration re-assigns the same id.
+  EXPECT_EQ(h.mgr->commit(to_bytes("doomed")), 1u);
+}
+
+TEST(OutputCommitUnit, PrunedBarrierCountsAsStable) {
+  Harness h(2);
+  const auto d = h.my_receipt(1);
+  h.mgr->commit(to_bytes("guarded"));
+  EXPECT_TRUE(h.released.empty());
+  // The destination (self) checkpoints past the receipt: pruned = durable.
+  h.log.prune_dest(kSelf, d.rsn);
+  h.mgr->on_stability_changed();
+  EXPECT_EQ(h.released.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rr::recovery

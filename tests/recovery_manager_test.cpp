@@ -1,0 +1,383 @@
+// RecoveryManager driven by scripted hooks: leader election by ordinal,
+// gather phases, restart triggers, blocking semantics and incvector
+// construction — all without a live cluster.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "recovery/recovery_manager.hpp"
+
+namespace rr::recovery {
+namespace {
+
+constexpr ProcessId kSelf{0};
+constexpr ProcessId kOrd{99};
+
+struct Harness {
+  sim::Simulator sim;
+  metrics::Registry metrics;
+  RecoveryConfig config;
+
+  std::vector<std::pair<ProcessId, ControlMessage>> sent;
+  std::vector<ControlMessage> broadcasts;
+  std::vector<DepInstall> installs;
+  std::vector<std::pair<ProcessId, RecoveryComplete>> recovered_peers;
+  bool blocked = false;
+  std::set<ProcessId> deferring;
+  int sync_logged = 0;
+  Incarnation inc = 2;
+  std::set<ProcessId> suspected;
+  std::vector<fbl::HeldDeterminant> slice;
+  std::vector<ProcessId> processes{ProcessId{0}, ProcessId{1}, ProcessId{2}, ProcessId{3}};
+
+  std::unique_ptr<RecoveryManager> mgr;
+
+  explicit Harness(Algorithm alg = Algorithm::kNonBlocking) {
+    config.algorithm = alg;
+    config.progress_period = milliseconds(200);
+    config.phase_timeout = seconds(2);
+    mgr = std::make_unique<RecoveryManager>(
+        sim, kSelf, kOrd, config,
+        RecoveryManager::Hooks{
+            .send_ctrl = [this](ProcessId to,
+                                const ControlMessage& m) { sent.emplace_back(to, m); },
+            .broadcast_ctrl = [this](const ControlMessage& m) { broadcasts.push_back(m); },
+            .my_incarnation = [this] { return inc; },
+            .all_processes = [this] { return processes; },
+            .is_suspected = [this](ProcessId p) { return suspected.contains(p); },
+            .depinfo_slice = [this](const std::vector<ProcessId>&) { return slice; },
+            .marks_for =
+                [](const std::vector<ProcessId>& rset) {
+                  fbl::Watermarks marks;
+                  for (const ProcessId p : rset) marks[p] = 7;
+                  return marks;
+                },
+            .set_delivery_blocked = [this](bool b) { blocked = b; },
+            .set_defer_unsafe =
+                [this](const std::set<ProcessId>& rset) { deferring = rset; },
+            .sync_log_then_send =
+                [this](ProcessId to, const ControlMessage& m) {
+                  ++sync_logged;
+                  sent.emplace_back(to, m);
+                },
+            .install = [this](const DepInstall& i) { installs.push_back(i); },
+            .peer_recovered =
+                [this](ProcessId p, const RecoveryComplete& m) {
+                  recovered_peers.emplace_back(p, m);
+                },
+        },
+        metrics);
+  }
+
+  /// All captured messages of type M sent to `to`.
+  template <typename M>
+  std::vector<M> sent_to(ProcessId to) const {
+    std::vector<M> out;
+    for (const auto& [dst, m] : sent) {
+      if (dst == to && std::holds_alternative<M>(m)) out.push_back(std::get<M>(m));
+    }
+    return out;
+  }
+
+  template <typename M>
+  std::size_t count_sent() const {
+    std::size_t n = 0;
+    for (const auto& [dst, m] : sent) n += std::holds_alternative<M>(m);
+    return n;
+  }
+
+  /// Walk the manager into a single-member leader round (R = {self}).
+  void become_sole_leader() {
+    mgr->begin_recovery();
+    mgr->on_control(kOrd, OrdReply{1, {{kSelf, 1, inc}}});
+    mgr->on_control(kOrd, RSetReply{{{kSelf, 1, inc}}});
+  }
+};
+
+TEST(RecoveryManager, BeginRecoveryRequestsOrdOnce) {
+  Harness h;
+  h.mgr->begin_recovery();
+  EXPECT_TRUE(h.mgr->recovering());
+  ASSERT_EQ(h.sent_to<OrdRequest>(kOrd).size(), 1u);
+  EXPECT_EQ(h.sent_to<OrdRequest>(kOrd)[0].inc, 2u);
+  // Progress ticks must not re-request the ordinal.
+  h.sim.run_until(seconds(1));
+  EXPECT_EQ(h.sent_to<OrdRequest>(kOrd).size(), 1u);
+}
+
+TEST(RecoveryManager, SoleMemberLeadsAndInstallsFromLiveReplies) {
+  Harness h;
+  h.become_sole_leader();
+  EXPECT_TRUE(h.mgr->leading());
+  // Gather targets: all processes except self.
+  const auto reqs1 = h.sent_to<DepRequest>(ProcessId{1});
+  ASSERT_EQ(reqs1.size(), 1u);
+  EXPECT_FALSE(reqs1[0].block);
+  EXPECT_EQ(reqs1[0].recovering, std::vector<ProcessId>{kSelf});
+  EXPECT_EQ(fbl::incarnation_of(reqs1[0].incvector, kSelf), 2u);
+
+  DepReply reply;
+  reply.round = reqs1[0].round;
+  h.mgr->on_control(ProcessId{1}, reply);
+  h.mgr->on_control(ProcessId{2}, reply);
+  EXPECT_TRUE(h.installs.empty());
+  h.mgr->on_control(ProcessId{3}, reply);
+  ASSERT_EQ(h.installs.size(), 1u);  // self-install after the last reply
+  EXPECT_TRUE(h.mgr->install_received());
+  EXPECT_FALSE(h.mgr->leading());
+}
+
+TEST(RecoveryManager, HigherOrdMemberWaitsForLeader) {
+  Harness h;
+  h.mgr->begin_recovery();
+  // Another process (p1) holds ord 1; we got ord 2.
+  h.mgr->on_control(kOrd, OrdReply{2, {{ProcessId{1}, 1, 5}, {kSelf, 2, 2}}});
+  EXPECT_FALSE(h.mgr->leading());
+  EXPECT_EQ(h.count_sent<DepRequest>(), 0u);
+}
+
+TEST(RecoveryManager, TakesOverWhenLowerOrdLeaderSuspected) {
+  Harness h;
+  h.mgr->begin_recovery();
+  h.mgr->on_control(kOrd, OrdReply{2, {{ProcessId{1}, 1, 5}, {kSelf, 2, 2}}});
+  EXPECT_FALSE(h.mgr->leading());
+  h.suspected.insert(ProcessId{1});
+  h.mgr->on_suspicion(ProcessId{1}, true);  // prompts an RSet refresh
+  ASSERT_GE(h.count_sent<RSetRequest>(), 1u);
+  h.mgr->on_control(kOrd, RSetReply{{{ProcessId{1}, 1, 5}, {kSelf, 2, 2}}});
+  EXPECT_TRUE(h.mgr->leading());
+}
+
+TEST(RecoveryManager, MultiMemberRoundGathersIncarnationsFirst) {
+  Harness h;
+  h.mgr->begin_recovery();
+  const std::vector<RMember> rset{{kSelf, 1, 2}, {ProcessId{2}, 2, 7}};
+  h.mgr->on_control(kOrd, OrdReply{1, rset});
+  h.mgr->on_control(kOrd, RSetReply{rset});
+  // Non-blocking algorithm: IncRequest to the other member, no DepRequest yet.
+  ASSERT_EQ(h.sent_to<IncRequest>(ProcessId{2}).size(), 1u);
+  EXPECT_EQ(h.count_sent<DepRequest>(), 0u);
+
+  const auto round = h.sent_to<IncRequest>(ProcessId{2})[0].round;
+  h.mgr->on_control(ProcessId{2}, IncReply{round, 7});
+  // Gather targets: p1 and p3 (p2 is recovering).
+  EXPECT_EQ(h.sent_to<DepRequest>(ProcessId{1}).size(), 1u);
+  EXPECT_EQ(h.sent_to<DepRequest>(ProcessId{3}).size(), 1u);
+  EXPECT_EQ(h.sent_to<DepRequest>(ProcessId{2}).size(), 0u);
+
+  DepReply reply;
+  reply.round = h.sent_to<DepRequest>(ProcessId{1})[0].round;
+  h.mgr->on_control(ProcessId{1}, reply);
+  h.mgr->on_control(ProcessId{3}, reply);
+  // Install goes to the other member and to self.
+  EXPECT_EQ(h.sent_to<DepInstall>(ProcessId{2}).size(), 1u);
+  ASSERT_EQ(h.installs.size(), 1u);
+  // The install's incvector carries both recovering incarnations.
+  EXPECT_EQ(fbl::incarnation_of(h.installs[0].incvector, kSelf), 2u);
+  EXPECT_EQ(fbl::incarnation_of(h.installs[0].incvector, ProcessId{2}), 7u);
+}
+
+TEST(RecoveryManager, BlockingAlgorithmSkipsIncPhaseAndSetsBlockFlag) {
+  Harness h(Algorithm::kBlocking);
+  h.mgr->begin_recovery();
+  const std::vector<RMember> rset{{kSelf, 1, 2}, {ProcessId{2}, 2, 7}};
+  h.mgr->on_control(kOrd, OrdReply{1, rset});
+  h.mgr->on_control(kOrd, RSetReply{rset});
+  EXPECT_EQ(h.count_sent<IncRequest>(), 0u);
+  const auto reqs = h.sent_to<DepRequest>(ProcessId{1});
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_TRUE(reqs[0].block);
+  EXPECT_TRUE(reqs[0].incvector.empty());
+}
+
+TEST(RecoveryManager, LiveProcessAnswersDepRequest) {
+  Harness h;
+  DepRequest req;
+  req.round = 9;
+  req.recovering = {ProcessId{2}};
+  fbl::raise_incarnation(req.incvector, ProcessId{2}, 4);
+  h.mgr->on_control(ProcessId{2}, req);
+  const auto replies = h.sent_to<DepReply>(ProcessId{2});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].round, 9u);
+  EXPECT_EQ(fbl::watermark_of(replies[0].marks_for_r, ProcessId{2}), 7u);
+  // incvector merged; no blocking for the non-blocking algorithm.
+  EXPECT_EQ(fbl::incarnation_of(h.mgr->incvector(), ProcessId{2}), 4u);
+  EXPECT_FALSE(h.blocked);
+}
+
+TEST(RecoveryManager, BlockingDepRequestBlocksUntilAllComplete) {
+  Harness h(Algorithm::kBlocking);
+  DepRequest req;
+  req.block = true;
+  req.recovering = {ProcessId{1}, ProcessId{2}};
+  h.mgr->on_control(ProcessId{1}, req);
+  EXPECT_TRUE(h.blocked);
+  EXPECT_EQ(h.mgr->blocked_on().size(), 2u);
+  h.mgr->on_control(ProcessId{1}, RecoveryComplete{3, {}, 0});
+  EXPECT_TRUE(h.blocked);
+  h.mgr->on_control(ProcessId{2}, RecoveryComplete{3, {}, 0});
+  EXPECT_FALSE(h.blocked);
+  EXPECT_TRUE(h.mgr->blocked_on().empty());
+}
+
+TEST(RecoveryManager, DeferUnsafeRequestsDeferAndSyncLogReplies) {
+  Harness h(Algorithm::kDeferUnsafe);
+  h.mgr->begin_recovery();
+  const std::vector<RMember> rset{{kSelf, 1, 2}};
+  h.mgr->on_control(kOrd, OrdReply{1, rset});
+  h.mgr->on_control(kOrd, RSetReply{rset});
+  // Like the blocking baseline, the incarnation round is skipped...
+  EXPECT_EQ(h.count_sent<IncRequest>(), 0u);
+  const auto reqs = h.sent_to<DepRequest>(ProcessId{1});
+  ASSERT_EQ(reqs.size(), 1u);
+  // ...but the request asks for deferral, not blocking, and still carries
+  // the incvector (live processes keep delivering and need the floor).
+  EXPECT_FALSE(reqs[0].block);
+  EXPECT_TRUE(reqs[0].defer);
+  EXPECT_EQ(fbl::incarnation_of(reqs[0].incvector, kSelf), 2u);
+}
+
+TEST(RecoveryManager, DeferUnsafeLiveSideDefersAndSyncWrites) {
+  Harness h(Algorithm::kDeferUnsafe);
+  DepRequest req;
+  req.round = 4;
+  req.defer = true;
+  req.recovering = {ProcessId{2}, ProcessId{3}};
+  h.mgr->on_control(ProcessId{2}, req);
+  EXPECT_EQ(h.deferring, (std::set<ProcessId>{ProcessId{2}, ProcessId{3}}));
+  EXPECT_FALSE(h.blocked);
+  // The reply went through the synchronous-logging path.
+  EXPECT_EQ(h.sync_logged, 1);
+  ASSERT_EQ(h.sent_to<DepReply>(ProcessId{2}).size(), 1u);
+
+  // Completions shrink the deferred set one process at a time.
+  h.mgr->on_control(ProcessId{3}, RecoveryComplete{2, {}, 0});
+  EXPECT_EQ(h.deferring, std::set<ProcessId>{ProcessId{2}});
+  h.mgr->on_control(ProcessId{2}, RecoveryComplete{2, {}, 0});
+  EXPECT_TRUE(h.deferring.empty());
+}
+
+TEST(RecoveryManager, RecoveryCompleteRaisesIncvectorAndNotifies) {
+  Harness h;
+  RecoveryComplete done{6, {}, 42};
+  h.mgr->on_control(ProcessId{3}, done);
+  EXPECT_EQ(fbl::incarnation_of(h.mgr->incvector(), ProcessId{3}), 6u);
+  ASSERT_EQ(h.recovered_peers.size(), 1u);
+  EXPECT_EQ(h.recovered_peers[0].first, ProcessId{3});
+  EXPECT_EQ(h.recovered_peers[0].second.rsn, 42u);
+}
+
+TEST(RecoveryManager, IncRequestAnsweredInAnyState) {
+  Harness h;
+  h.mgr->on_control(ProcessId{2}, IncRequest{5});
+  const auto replies = h.sent_to<IncReply>(ProcessId{2});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].round, 5u);
+  EXPECT_EQ(replies[0].inc, 2u);
+}
+
+TEST(RecoveryManager, SuspectedGatherTargetRestartsRound) {
+  Harness h;
+  h.become_sole_leader();
+  const auto rounds_before = h.metrics.counter_value("recovery.rounds");
+  h.suspected.insert(ProcessId{1});
+  h.mgr->on_suspicion(ProcessId{1}, true);
+  EXPECT_EQ(h.metrics.counter_value("recovery.gather_restarts"), 1u);
+  EXPECT_EQ(h.metrics.counter_value("recovery.rounds"), rounds_before + 1);
+}
+
+TEST(RecoveryManager, PhaseTimeoutRestartsRound) {
+  Harness h;
+  h.become_sole_leader();
+  EXPECT_EQ(h.metrics.counter_value("recovery.gather_restarts"), 0u);
+  h.sim.run_until(seconds(3));  // > phase_timeout, no replies arrived
+  EXPECT_GE(h.metrics.counter_value("recovery.gather_restarts"), 1u);
+}
+
+TEST(RecoveryManager, TargetRegisteringAsRecoveringRestartsRound) {
+  Harness h;
+  h.become_sole_leader();
+  // Mid-gather R refresh reveals p1 (a gather target) crashed into R.
+  h.mgr->on_control(kOrd, RSetReply{{{kSelf, 1, 2}, {ProcessId{1}, 2, 9}}});
+  EXPECT_EQ(h.metrics.counter_value("recovery.gather_restarts"), 1u);
+}
+
+TEST(RecoveryManager, StaleRoundRepliesIgnored) {
+  Harness h;
+  h.become_sole_leader();
+  const auto round = h.sent_to<DepRequest>(ProcessId{1})[0].round;
+  DepReply stale;
+  stale.round = round + 100;
+  h.mgr->on_control(ProcessId{1}, stale);
+  h.mgr->on_control(ProcessId{2}, stale);
+  h.mgr->on_control(ProcessId{3}, stale);
+  EXPECT_TRUE(h.installs.empty());
+}
+
+TEST(RecoveryManager, MemberInstallAppliedOnlyWhileRecovering) {
+  Harness h;
+  DepInstall install;
+  h.mgr->on_control(ProcessId{1}, install);  // not recovering: ignored
+  EXPECT_TRUE(h.installs.empty());
+  h.mgr->begin_recovery();
+  fbl::raise_incarnation(install.incvector, ProcessId{1}, 8);
+  h.mgr->on_control(ProcessId{1}, install);
+  ASSERT_EQ(h.installs.size(), 1u);
+  EXPECT_TRUE(h.mgr->install_received());
+  EXPECT_EQ(fbl::incarnation_of(h.mgr->incvector(), ProcessId{1}), 8u);
+}
+
+TEST(RecoveryManager, ReplayCompleteEndsRecovery) {
+  Harness h;
+  h.become_sole_leader();
+  DepReply reply;
+  reply.round = h.sent_to<DepRequest>(ProcessId{1})[0].round;
+  h.mgr->on_control(ProcessId{1}, reply);
+  h.mgr->on_control(ProcessId{2}, reply);
+  h.mgr->on_control(ProcessId{3}, reply);
+  ASSERT_TRUE(h.mgr->install_received());
+  h.mgr->on_replay_complete();
+  EXPECT_FALSE(h.mgr->recovering());
+  EXPECT_EQ(h.metrics.counter_value("recovery.completed"), 1u);
+}
+
+TEST(RecoveryManager, ResetForRestartClearsVolatileState) {
+  Harness h;
+  h.become_sole_leader();
+  h.mgr->reset_for_restart();
+  EXPECT_FALSE(h.mgr->recovering());
+  EXPECT_FALSE(h.mgr->leading());
+  EXPECT_EQ(h.mgr->ord(), 0u);
+  EXPECT_TRUE(h.mgr->incvector().empty());
+  // A fresh recovery may acquire a new ordinal.
+  h.mgr->begin_recovery();
+  EXPECT_EQ(h.sent_to<OrdRequest>(kOrd).size(), 2u);
+}
+
+TEST(RecoveryManager, StandsDownWhenLowerOrdResurfaces) {
+  Harness h;
+  h.become_sole_leader();
+  ASSERT_TRUE(h.mgr->leading());
+  // Next tick's RSet refresh (mid-round) reveals a lower-ord, unsuspected
+  // member... delivered as a kRefreshR-phase reply after a restart:
+  h.suspected.insert(ProcessId{1});
+  h.mgr->on_suspicion(ProcessId{1}, true);  // forces a round restart
+  h.suspected.clear();
+  // The restarted round's RSetReply shows p1 with ord 0 < ours, alive.
+  h.mgr->on_control(kOrd,
+                    RSetReply{{{ProcessId{1}, 0, 3}, {kSelf, 1, 2}}});
+  EXPECT_FALSE(h.mgr->leading());
+}
+
+TEST(RecoveryManager, AbandonsRoundWhenNotInRset) {
+  Harness h;
+  h.become_sole_leader();
+  h.suspected.insert(ProcessId{1});
+  h.mgr->on_suspicion(ProcessId{1}, true);  // restart into kRefreshR
+  h.mgr->on_control(kOrd, RSetReply{{}});   // we are gone from R
+  EXPECT_FALSE(h.mgr->leading());
+}
+
+}  // namespace
+}  // namespace rr::recovery

@@ -1,0 +1,166 @@
+// Wire round-trips for every recovery control message.
+#include <gtest/gtest.h>
+
+#include "fbl/frame.hpp"
+#include "recovery/messages.hpp"
+
+namespace rr::recovery {
+namespace {
+
+ControlMessage round_trip(const ControlMessage& m) {
+  const Bytes wire = encode_control(m);
+  BufReader r(wire);
+  EXPECT_EQ(fbl::decode_kind(r), fbl::FrameKind::kControl);
+  ControlMessage out = decode_control(r);
+  r.expect_done();
+  return out;
+}
+
+fbl::HeldDeterminant held(std::uint32_t src, Ssn ssn, std::uint32_t dst, Rsn rsn,
+                          fbl::HolderMask holders) {
+  return {fbl::Determinant{ProcessId{src}, ssn, ProcessId{dst}, rsn}, holders};
+}
+
+TEST(ControlMessages, OrdRequestRoundTrip) {
+  const auto out = round_trip(OrdRequest{7});
+  ASSERT_TRUE(std::holds_alternative<OrdRequest>(out));
+  EXPECT_EQ(std::get<OrdRequest>(out).inc, 7u);
+}
+
+TEST(ControlMessages, OrdReplyRoundTrip) {
+  OrdReply m;
+  m.ord = 42;
+  m.rset = {{ProcessId{1}, 42, 3}, {ProcessId{2}, 43, 2}};
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<OrdReply>(out));
+  EXPECT_EQ(std::get<OrdReply>(out).ord, 42u);
+  EXPECT_EQ(std::get<OrdReply>(out).rset, m.rset);
+}
+
+TEST(ControlMessages, RSetRequestRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<RSetRequest>(round_trip(RSetRequest{})));
+}
+
+TEST(ControlMessages, RSetReplyRoundTrip) {
+  RSetReply m;
+  m.rset = {{ProcessId{5}, 9, 1}};
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<RSetReply>(out));
+  EXPECT_EQ(std::get<RSetReply>(out).rset, m.rset);
+}
+
+TEST(ControlMessages, IncRequestReplyRoundTrip) {
+  const auto req = round_trip(IncRequest{11});
+  ASSERT_TRUE(std::holds_alternative<IncRequest>(req));
+  EXPECT_EQ(std::get<IncRequest>(req).round, 11u);
+
+  const auto rep = round_trip(IncReply{11, 4});
+  ASSERT_TRUE(std::holds_alternative<IncReply>(rep));
+  EXPECT_EQ(std::get<IncReply>(rep).round, 11u);
+  EXPECT_EQ(std::get<IncReply>(rep).inc, 4u);
+}
+
+TEST(ControlMessages, DepRequestRoundTrip) {
+  DepRequest m;
+  m.round = 3;
+  m.block = true;
+  m.incvector[ProcessId{1}] = 2;
+  m.incvector[ProcessId{4}] = 9;
+  m.recovering = {ProcessId{1}, ProcessId{4}};
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<DepRequest>(out));
+  const auto& got = std::get<DepRequest>(out);
+  EXPECT_EQ(got.round, 3u);
+  EXPECT_TRUE(got.block);
+  EXPECT_EQ(got.incvector, m.incvector);
+  EXPECT_EQ(got.recovering, m.recovering);
+}
+
+TEST(ControlMessages, DepReplyRoundTrip) {
+  DepReply m;
+  m.round = 3;
+  m.dets = {held(0, 1, 1, 1, 0x3), held(2, 5, 1, 2, 0x7)};
+  m.marks_for_r[ProcessId{1}] = 17;
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<DepReply>(out));
+  const auto& got = std::get<DepReply>(out);
+  EXPECT_EQ(got.dets, m.dets);
+  EXPECT_EQ(got.marks_for_r, m.marks_for_r);
+}
+
+TEST(ControlMessages, DepInstallRoundTrip) {
+  DepInstall m;
+  m.round = 8;
+  m.incvector[ProcessId{1}] = 2;
+  m.dets = {held(0, 1, 1, 1, 0x3)};
+  m.live_marks[ProcessId{0}][ProcessId{1}] = 5;
+  m.live_marks[ProcessId{3}][ProcessId{1}] = 7;
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<DepInstall>(out));
+  const auto& got = std::get<DepInstall>(out);
+  EXPECT_EQ(got.incvector, m.incvector);
+  EXPECT_EQ(got.dets, m.dets);
+  EXPECT_EQ(got.live_marks, m.live_marks);
+}
+
+TEST(ControlMessages, RecoveryCompleteRoundTrip) {
+  RecoveryComplete m;
+  m.inc = 5;
+  m.recv_marks[ProcessId{0}] = 100;
+  m.rsn = 321;
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<RecoveryComplete>(out));
+  const auto& got = std::get<RecoveryComplete>(out);
+  EXPECT_EQ(got.inc, 5u);
+  EXPECT_EQ(got.recv_marks, m.recv_marks);
+  EXPECT_EQ(got.rsn, 321u);
+}
+
+TEST(ControlMessages, ReplayRequestRoundTrip) {
+  ReplayRequest m;
+  m.ssns = {1, 5, 9};
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<ReplayRequest>(out));
+  EXPECT_EQ(std::get<ReplayRequest>(out).ssns, m.ssns);
+}
+
+TEST(ControlMessages, ReplayDataRoundTrip) {
+  ReplayData m;
+  m.items.push_back({3, to_bytes("abc")});
+  m.items.push_back({4, Bytes{}});
+  const auto out = round_trip(m);
+  ASSERT_TRUE(std::holds_alternative<ReplayData>(out));
+  const auto& got = std::get<ReplayData>(out);
+  ASSERT_EQ(got.items.size(), 2u);
+  EXPECT_EQ(got.items[0].ssn, 3u);
+  EXPECT_EQ(to_text(got.items[0].payload), "abc");
+  EXPECT_TRUE(got.items[1].payload.empty());
+}
+
+TEST(ControlMessages, NamesAreStable) {
+  EXPECT_STREQ(control_name(OrdRequest{}), "ord_request");
+  EXPECT_STREQ(control_name(DepRequest{}), "dep_request");
+  EXPECT_STREQ(control_name(DepInstall{}), "dep_install");
+  EXPECT_STREQ(control_name(RecoveryComplete{}), "recovery_complete");
+  EXPECT_STREQ(control_name(ReplayData{}), "replay_data");
+}
+
+TEST(ControlMessages, UnknownKindThrows) {
+  BufWriter w;
+  w.u8(99);
+  BufReader r(w.view());
+  EXPECT_THROW((void)decode_control(r), SerdeError);
+}
+
+TEST(ControlMessages, TruncatedBodyThrows) {
+  DepReply m;
+  m.dets = {held(0, 1, 1, 1, 0x3)};
+  Bytes wire = encode_control(m);
+  wire.resize(wire.size() / 2);
+  BufReader r(wire);
+  (void)r.u8();  // frame kind
+  EXPECT_THROW((void)decode_control(r), SerdeError);
+}
+
+}  // namespace
+}  // namespace rr::recovery

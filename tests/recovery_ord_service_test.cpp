@@ -1,0 +1,121 @@
+// OrdService: monotonic ordinals, R-set bookkeeping, re-registration and
+// completion retirement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "net/network.hpp"
+#include "fbl/frame.hpp"
+#include "recovery/ord_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::recovery {
+namespace {
+
+struct Capture : net::Endpoint {
+  std::vector<ControlMessage> messages;
+
+  void deliver(ProcessId, Bytes payload) override {
+    BufReader r(payload);
+    (void)fbl::decode_kind(r);
+    messages.push_back(decode_control(r));
+  }
+};
+
+struct OrdFixture : ::testing::Test {
+  sim::Simulator sim;
+  metrics::Registry metrics;
+  net::NetworkConfig config;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<OrdService> ord;
+  Capture p1, p2;
+  static constexpr ProcessId kOrd{99};
+
+  void SetUp() override {
+    net = std::make_unique<net::Network>(sim, config, metrics);
+    ord = std::make_unique<OrdService>(kOrd, *net, metrics);
+    net->attach(kOrd, *ord);
+    net->attach(ProcessId{1}, p1);
+    net->attach(ProcessId{2}, p2);
+  }
+
+  void send(ProcessId from, const ControlMessage& m) {
+    net->send(from, kOrd, encode_control(m));
+    sim.run();
+  }
+};
+
+TEST_F(OrdFixture, AssignsMonotonicOrdinals) {
+  send(ProcessId{1}, OrdRequest{2});
+  send(ProcessId{2}, OrdRequest{2});
+  ASSERT_EQ(p1.messages.size(), 1u);
+  ASSERT_EQ(p2.messages.size(), 1u);
+  EXPECT_EQ(std::get<OrdReply>(p1.messages[0]).ord, 1u);
+  EXPECT_EQ(std::get<OrdReply>(p2.messages[0]).ord, 2u);
+  EXPECT_EQ(ord->last_ord(), 2u);
+}
+
+TEST_F(OrdFixture, ReplyCarriesCurrentRSet) {
+  send(ProcessId{1}, OrdRequest{2});
+  send(ProcessId{2}, OrdRequest{3});
+  const auto& reply = std::get<OrdReply>(p2.messages[0]);
+  ASSERT_EQ(reply.rset.size(), 2u);
+  EXPECT_EQ(reply.rset[0].pid, ProcessId{1});
+  EXPECT_EQ(reply.rset[0].inc, 2u);
+  EXPECT_EQ(reply.rset[1].pid, ProcessId{2});
+  EXPECT_EQ(reply.rset[1].inc, 3u);
+}
+
+TEST_F(OrdFixture, RSetRequestAnswered) {
+  send(ProcessId{1}, OrdRequest{2});
+  send(ProcessId{2}, RSetRequest{});
+  ASSERT_EQ(p2.messages.size(), 1u);
+  const auto& reply = std::get<RSetReply>(p2.messages[0]);
+  ASSERT_EQ(reply.rset.size(), 1u);
+  EXPECT_EQ(reply.rset[0].pid, ProcessId{1});
+}
+
+TEST_F(OrdFixture, CompletionRetiresEntry) {
+  send(ProcessId{1}, OrdRequest{2});
+  send(ProcessId{1}, RecoveryComplete{2, {}, 0});
+  EXPECT_TRUE(ord->rset().empty());
+  // Completing twice is harmless.
+  send(ProcessId{1}, RecoveryComplete{2, {}, 0});
+  EXPECT_TRUE(ord->rset().empty());
+}
+
+TEST_F(OrdFixture, ReRegistrationSupersedesWithHigherOrd) {
+  send(ProcessId{1}, OrdRequest{2});
+  send(ProcessId{2}, OrdRequest{2});
+  // p1 crashes again mid-recovery and re-registers.
+  send(ProcessId{1}, OrdRequest{3});
+  const auto rset = ord->rset();
+  ASSERT_EQ(rset.size(), 2u);
+  // Sorted by ord: p2 (ord 2) now leads p1 (ord 3).
+  EXPECT_EQ(rset[0].pid, ProcessId{2});
+  EXPECT_EQ(rset[1].pid, ProcessId{1});
+  EXPECT_EQ(rset[1].ord, 3u);
+  EXPECT_EQ(rset[1].inc, 3u);
+}
+
+TEST_F(OrdFixture, IgnoresNonControlFrames) {
+  net->send(ProcessId{1}, kOrd, fbl::HeartbeatFrame{1}.encode());
+  sim.run();
+  EXPECT_TRUE(ord->rset().empty());
+}
+
+TEST_F(OrdFixture, IgnoresUnrelatedControl) {
+  send(ProcessId{1}, IncReply{1, 1});
+  EXPECT_TRUE(ord->rset().empty());
+  EXPECT_TRUE(p1.messages.empty());
+}
+
+TEST_F(OrdFixture, CountsControlTraffic) {
+  send(ProcessId{1}, OrdRequest{2});
+  EXPECT_EQ(metrics.counter_value("ord.registrations"), 1u);
+  EXPECT_GE(metrics.counter_value("recovery.ctrl_msgs"), 1u);
+}
+
+}  // namespace
+}  // namespace rr::recovery

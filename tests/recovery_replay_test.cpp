@@ -1,0 +1,201 @@
+// ReplayEngine: schedule installation, ordered paced delivery, payload
+// sourcing, gap truncation and repeated installs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "recovery/replay.hpp"
+
+namespace rr::recovery {
+namespace {
+
+constexpr ProcessId kSelf{1};
+
+fbl::HeldDeterminant het(std::uint32_t src, Ssn ssn, Rsn rsn) {
+  return {fbl::Determinant{ProcessId{src}, ssn, kSelf, rsn}, 0x2};
+}
+
+struct ReplayFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::vector<fbl::Determinant> delivered;
+  std::vector<Time> delivered_at;
+  std::map<ProcessId, std::vector<Ssn>> requested;
+  int completions = 0;
+  Duration per_delivery = microseconds(10);
+  std::unique_ptr<ReplayEngine> engine_;
+
+  ReplayEngine& make() {
+    engine_ = std::make_unique<ReplayEngine>(
+        sim, kSelf, per_delivery,
+        ReplayEngine::Hooks{
+            .deliver =
+                [this](const fbl::HeldDeterminant& h, const Bytes&) {
+                  delivered.push_back(h.det);
+                  delivered_at.push_back(sim.now());
+                },
+            .request_payloads =
+                [this](ProcessId source, std::vector<Ssn> ssns) {
+                  auto& v = requested[source];
+                  v.insert(v.end(), ssns.begin(), ssns.end());
+                },
+            .on_complete = [this] { ++completions; },
+        });
+    return *engine_;
+  }
+};
+
+TEST_F(ReplayFixture, EmptyScheduleCompletesImmediately) {
+  auto& e = make();
+  e.install({}, 0, {});
+  EXPECT_TRUE(e.complete());
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(ReplayFixture, RequestsMissingPayloadsBatchedBySource) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(2, 1, 2), het(0, 2, 3)}, 0, {});
+  EXPECT_EQ(requested[ProcessId{0}], (std::vector<Ssn>{1, 2}));
+  EXPECT_EQ(requested[ProcessId{2}], (std::vector<Ssn>{1}));
+}
+
+TEST_F(ReplayFixture, RecoveringSourcesNotRequested) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(2, 1, 2)}, 0, {ProcessId{2}});
+  EXPECT_TRUE(requested[ProcessId{2}].empty());
+  EXPECT_EQ(requested[ProcessId{0}].size(), 1u);
+}
+
+TEST_F(ReplayFixture, DeliversInRsnOrderWithPacing) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(2, 1, 2), het(0, 2, 3)}, 0, {});
+  // Payloads arrive out of order; delivery must follow rsn order.
+  e.offer(ProcessId{0}, 2, to_bytes("c"));
+  e.offer(ProcessId{2}, 1, to_bytes("b"));
+  e.offer(ProcessId{0}, 1, to_bytes("a"));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0].rsn, 1u);
+  EXPECT_EQ(delivered[1].rsn, 2u);
+  EXPECT_EQ(delivered[2].rsn, 3u);
+  // Each delivery consumed one per-delivery CPU slot.
+  EXPECT_EQ(delivered_at[0], per_delivery);
+  EXPECT_EQ(delivered_at[1], 2 * per_delivery);
+  EXPECT_EQ(delivered_at[2], 3 * per_delivery);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(e.delivered(), 3u);
+}
+
+TEST_F(ReplayFixture, StallsUntilMissingPayloadArrives) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(0, 2, 2)}, 0, {});
+  e.offer(ProcessId{0}, 2, to_bytes("later"));
+  sim.run();
+  EXPECT_TRUE(delivered.empty());  // rsn 1 still missing
+  e.offer(ProcessId{0}, 1, to_bytes("first"));
+  sim.run();
+  EXPECT_EQ(delivered.size(), 2u);
+}
+
+TEST_F(ReplayFixture, ScheduleStartsAfterCheckpointRsn) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(0, 2, 2), het(0, 3, 3)}, 2, {});
+  EXPECT_EQ(e.pending(), 1u);
+  e.offer(ProcessId{0}, 3, Bytes{});
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].rsn, 3u);
+}
+
+TEST_F(ReplayFixture, GapTruncatesSuffix) {
+  auto& e = make();
+  e.install({het(0, 1, 1), het(0, 3, 3)}, 0, {});  // rsn 2 missing
+  EXPECT_EQ(e.gaps_detected(), 1u);
+  EXPECT_EQ(e.pending(), 1u);
+  e.offer(ProcessId{0}, 1, Bytes{});
+  sim.run();
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(ReplayFixture, UnneededOffersIgnored) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  e.offer(ProcessId{9}, 1, Bytes{});
+  e.offer(ProcessId{0}, 99, Bytes{});
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_FALSE(e.complete());
+}
+
+TEST_F(ReplayFixture, DuplicateOffersHarmless) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  e.offer(ProcessId{0}, 1, to_bytes("one"));
+  e.offer(ProcessId{0}, 1, to_bytes("two"));
+  sim.run();
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(ReplayFixture, SecondInstallExtendsSchedule) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  e.offer(ProcessId{0}, 1, Bytes{});
+  // Before the first delivery lands, a fail-over leader installs more.
+  e.install({het(0, 1, 1), het(2, 1, 2)}, 0, {});
+  e.offer(ProcessId{2}, 1, Bytes{});
+  sim.run();
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(ReplayFixture, SecondInstallDoesNotReRequest) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  e.install({het(0, 1, 1)}, 0, {});
+  EXPECT_EQ(requested[ProcessId{0}].size(), 1u);
+}
+
+TEST_F(ReplayFixture, OnSourceRecoveredReRequestsPending) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {ProcessId{0}});  // source recovering: no request
+  EXPECT_TRUE(requested[ProcessId{0}].empty());
+  e.on_source_recovered(ProcessId{0});
+  EXPECT_EQ(requested[ProcessId{0}], (std::vector<Ssn>{1}));
+}
+
+TEST_F(ReplayFixture, NeedsReflectsPendingOnly) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  EXPECT_TRUE(e.needs(ProcessId{0}, 1));
+  EXPECT_FALSE(e.needs(ProcessId{0}, 2));
+  e.offer(ProcessId{0}, 1, Bytes{});
+  sim.run();
+  EXPECT_FALSE(e.needs(ProcessId{0}, 1));
+}
+
+TEST_F(ReplayFixture, ResetClearsState) {
+  auto& e = make();
+  e.install({het(0, 1, 1)}, 0, {});
+  e.reset();
+  EXPECT_FALSE(e.installed());
+  EXPECT_EQ(e.pending(), 0u);
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(completions, 0);
+}
+
+TEST_F(ReplayFixture, ZeroCostDeliveryStillOrdered) {
+  per_delivery = 0;
+  auto& e = make();
+  e.install({het(0, 1, 1), het(0, 2, 2)}, 0, {});
+  e.offer(ProcessId{0}, 1, Bytes{});
+  e.offer(ProcessId{0}, 2, Bytes{});
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].rsn, 1u);
+}
+
+}  // namespace
+}  // namespace rr::recovery

@@ -1,0 +1,226 @@
+// Simulation kernel: event ordering, cancellation, run_until semantics and
+// the repeating timer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rr::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kTimeZero);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelReturnsFalseWhenAlreadyRan) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kNoEvent));
+  EXPECT_FALSE(sim.cancel(EventId{12345}));
+}
+
+TEST(Simulator, PendingEventsTracksCancellation) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilExecutesInclusiveBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.schedule_at(21, [&] { ++count; });
+  sim.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, RunUntilKeepsFutureEventPending) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(100, [&] { ran = true; });
+  sim.run_until(50);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(5, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, RngIsSeedDeterministic) {
+  Simulator a(42), b(42), c(43);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  (void)c;
+}
+
+TEST(RepeatingTimer, FiresPeriodically) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer t(sim, 10, [&] { ++ticks; });
+  t.start();
+  sim.run_until(35);
+  EXPECT_EQ(ticks, 3);  // at 10, 20, 30
+}
+
+TEST(RepeatingTimer, StartAfterCustomDelay) {
+  Simulator sim;
+  std::vector<Time> fired;
+  RepeatingTimer t(sim, 10, [&] { fired.push_back(sim.now()); });
+  t.start_after(3);
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<Time>{3, 13, 23}));
+}
+
+TEST(RepeatingTimer, StopIsIdempotentAndHalts) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer t(sim, 10, [&] { ++ticks; });
+  t.start();
+  sim.run_until(15);
+  t.stop();
+  t.stop();
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 1);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(RepeatingTimer, CallbackMayStopTimer) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer t(sim, 10, [&] {
+    if (++ticks == 2) t.stop();
+  });
+  t.start();
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(RepeatingTimer, RestartResetsPhase) {
+  Simulator sim;
+  std::vector<Time> fired;
+  RepeatingTimer t(sim, 10, [&] { fired.push_back(sim.now()); });
+  t.start();
+  sim.run_until(12);
+  t.start();  // re-arm at t=12
+  sim.run_until(30);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 22}));
+}
+
+TEST(RepeatingTimer, SetPeriodAppliesFromNextArm) {
+  Simulator sim;
+  std::vector<Time> fired;
+  RepeatingTimer t(sim, 10, [&] { fired.push_back(sim.now()); });
+  t.start();
+  sim.run_until(12);         // fired at 10, re-armed for 20
+  t.set_period(5);           // affects arms made after the pending one
+  sim.run_until(31);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 25, 30}));
+  EXPECT_EQ(t.period(), 5);
+}
+
+}  // namespace
+}  // namespace rr::sim

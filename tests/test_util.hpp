@@ -1,0 +1,75 @@
+// Shared helpers for the test suite: a compressed-timescale cluster
+// configuration (fast storage, short detection timeouts, small images) so
+// crash-recovery scenarios settle within a few hundred thousand simulated
+// events, plus workload factories.
+#pragma once
+
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "harness/scenario.hpp"
+#include "runtime/cluster.hpp"
+
+namespace rr::test {
+
+/// Cluster config with time constants compressed ~4-10x relative to the
+/// paper testbed; recovery completes ~1.5 s of virtual time after a crash.
+inline runtime::ClusterConfig fast_cluster(std::uint32_t n, std::uint32_t f,
+                                           recovery::Algorithm alg,
+                                           std::uint64_t seed = 1) {
+  runtime::ClusterConfig cfg;
+  cfg.num_processes = n;
+  cfg.f = f;
+  cfg.algorithm = alg;
+  cfg.seed = seed;
+  cfg.net.base_latency = microseconds(200);
+  cfg.net.jitter_max = microseconds(40);
+  cfg.storage.seek_latency = milliseconds(2);
+  cfg.storage.bytes_per_second = 8.0 * 1024 * 1024;
+  cfg.detector.heartbeat_period = milliseconds(250);
+  cfg.detector.timeout = milliseconds(1000);
+  cfg.supervisor_restart_delay = milliseconds(600);
+  cfg.checkpoint_period = seconds(2);
+  cfg.replay_delivery_cost = microseconds(10);
+  cfg.recovery.progress_period = milliseconds(200);
+  cfg.recovery.phase_timeout = milliseconds(2500);
+  return cfg;
+}
+
+inline app::AppFactory gossip_factory(std::uint32_t tokens_per_process = 1,
+                                      std::uint32_t payload_pad = 32) {
+  return [=](ProcessId pid) {
+    app::GossipConfig cfg;
+    cfg.tokens_per_process = tokens_per_process;
+    cfg.payload_pad = payload_pad;
+    cfg.seed = 100 + pid.value;
+    return std::make_unique<app::GossipApp>(cfg);
+  };
+}
+
+inline app::AppFactory ring_factory(std::uint32_t tokens = 2) {
+  return [=](ProcessId) {
+    app::RingConfig cfg;
+    cfg.tokens = tokens;
+    cfg.payload_pad = 16;
+    return std::make_unique<app::RingTokenApp>(cfg);
+  };
+}
+
+inline app::AppFactory bank_factory(std::uint32_t tokens = 1, std::uint32_t ttl = 2000) {
+  return [=](ProcessId) {
+    app::BankConfig cfg;
+    cfg.tokens_per_process = tokens;
+    cfg.ttl = ttl;
+    return std::make_unique<app::BankApp>(cfg);
+  };
+}
+
+/// Run a fast-cluster scenario until idle (or the deadline).
+inline harness::ScenarioResult run_fast(harness::ScenarioConfig sc) {
+  if (sc.horizon == 0) sc.horizon = seconds(10);
+  if (sc.idle_deadline == 0) sc.idle_deadline = seconds(60);
+  return harness::run_scenario(sc);
+}
+
+}  // namespace rr::test
