@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_chain_scenario.dir/bench_f1_chain_scenario.cpp.o"
+  "CMakeFiles/bench_f1_chain_scenario.dir/bench_f1_chain_scenario.cpp.o.d"
+  "bench_f1_chain_scenario"
+  "bench_f1_chain_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_chain_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

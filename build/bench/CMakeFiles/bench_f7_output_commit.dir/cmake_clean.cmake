@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_output_commit.dir/bench_f7_output_commit.cpp.o"
+  "CMakeFiles/bench_f7_output_commit.dir/bench_f7_output_commit.cpp.o.d"
+  "bench_f7_output_commit"
+  "bench_f7_output_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_output_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f7_output_commit.
+# This may be replaced when dependencies are built.

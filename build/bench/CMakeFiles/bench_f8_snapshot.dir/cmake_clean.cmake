@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_snapshot.dir/bench_f8_snapshot.cpp.o"
+  "CMakeFiles/bench_f8_snapshot.dir/bench_f8_snapshot.cpp.o.d"
+  "bench_f8_snapshot"
+  "bench_f8_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

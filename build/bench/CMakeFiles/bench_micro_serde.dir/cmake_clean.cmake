@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_serde.dir/bench_micro_serde.cpp.o"
+  "CMakeFiles/bench_micro_serde.dir/bench_micro_serde.cpp.o.d"
+  "bench_micro_serde"
+  "bench_micro_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_sim.cpp" "bench/CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/rr_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/rr_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/rr_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/rr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbl/CMakeFiles/rr_fbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_single_failure.dir/bench_t1_single_failure.cpp.o"
+  "CMakeFiles/bench_t1_single_failure.dir/bench_t1_single_failure.cpp.o.d"
+  "bench_t1_single_failure"
+  "bench_t1_single_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_single_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_failure_during_recovery.dir/bench_t2_failure_during_recovery.cpp.o"
+  "CMakeFiles/bench_t2_failure_during_recovery.dir/bench_t2_failure_during_recovery.cpp.o.d"
+  "bench_t2_failure_during_recovery"
+  "bench_t2_failure_during_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_failure_during_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

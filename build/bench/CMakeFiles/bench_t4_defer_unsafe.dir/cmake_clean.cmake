@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_defer_unsafe.dir/bench_t4_defer_unsafe.cpp.o"
+  "CMakeFiles/bench_t4_defer_unsafe.dir/bench_t4_defer_unsafe.cpp.o.d"
+  "bench_t4_defer_unsafe"
+  "bench_t4_defer_unsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_defer_unsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

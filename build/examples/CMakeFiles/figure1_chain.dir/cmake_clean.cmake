@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_chain.dir/figure1_chain.cpp.o"
+  "CMakeFiles/figure1_chain.dir/figure1_chain.cpp.o.d"
+  "figure1_chain"
+  "figure1_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

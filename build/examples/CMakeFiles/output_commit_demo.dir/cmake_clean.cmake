@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_commit_demo.dir/output_commit_demo.cpp.o"
+  "CMakeFiles/output_commit_demo.dir/output_commit_demo.cpp.o.d"
+  "output_commit_demo"
+  "output_commit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_commit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

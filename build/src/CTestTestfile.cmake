@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("metrics")
+subdirs("net")
+subdirs("storage")
+subdirs("detect")
+subdirs("trace")
+subdirs("snapshot")
+subdirs("fbl")
+subdirs("recovery")
+subdirs("runtime")
+subdirs("app")
+subdirs("harness")
+subdirs("analysis")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_app.dir/workloads.cpp.o"
+  "CMakeFiles/rr_app.dir/workloads.cpp.o.d"
+  "librr_app.a"
+  "librr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_common.dir/hash.cpp.o"
+  "CMakeFiles/rr_common.dir/hash.cpp.o.d"
+  "CMakeFiles/rr_common.dir/log.cpp.o"
+  "CMakeFiles/rr_common.dir/log.cpp.o.d"
+  "CMakeFiles/rr_common.dir/rng.cpp.o"
+  "CMakeFiles/rr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rr_common.dir/serde.cpp.o"
+  "CMakeFiles/rr_common.dir/serde.cpp.o.d"
+  "librr_common.a"
+  "librr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_detect.dir/failure_detector.cpp.o"
+  "CMakeFiles/rr_detect.dir/failure_detector.cpp.o.d"
+  "librr_detect.a"
+  "librr_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fbl/checkpoint.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/checkpoint.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/fbl/determinant.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/determinant.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/determinant.cpp.o.d"
+  "/root/repo/src/fbl/determinant_log.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/determinant_log.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/determinant_log.cpp.o.d"
+  "/root/repo/src/fbl/engine.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/engine.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/engine.cpp.o.d"
+  "/root/repo/src/fbl/frame.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/frame.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/frame.cpp.o.d"
+  "/root/repo/src/fbl/send_log.cpp" "src/fbl/CMakeFiles/rr_fbl.dir/send_log.cpp.o" "gcc" "src/fbl/CMakeFiles/rr_fbl.dir/send_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_fbl.dir/checkpoint.cpp.o"
+  "CMakeFiles/rr_fbl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/rr_fbl.dir/determinant.cpp.o"
+  "CMakeFiles/rr_fbl.dir/determinant.cpp.o.d"
+  "CMakeFiles/rr_fbl.dir/determinant_log.cpp.o"
+  "CMakeFiles/rr_fbl.dir/determinant_log.cpp.o.d"
+  "CMakeFiles/rr_fbl.dir/engine.cpp.o"
+  "CMakeFiles/rr_fbl.dir/engine.cpp.o.d"
+  "CMakeFiles/rr_fbl.dir/frame.cpp.o"
+  "CMakeFiles/rr_fbl.dir/frame.cpp.o.d"
+  "CMakeFiles/rr_fbl.dir/send_log.cpp.o"
+  "CMakeFiles/rr_fbl.dir/send_log.cpp.o.d"
+  "librr_fbl.a"
+  "librr_fbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_fbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_harness.dir/experiments.cpp.o"
+  "CMakeFiles/rr_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/rr_harness.dir/scenario.cpp.o"
+  "CMakeFiles/rr_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/rr_harness.dir/table.cpp.o"
+  "CMakeFiles/rr_harness.dir/table.cpp.o.d"
+  "librr_harness.a"
+  "librr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

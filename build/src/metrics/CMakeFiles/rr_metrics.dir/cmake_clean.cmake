@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_metrics.dir/registry.cpp.o"
+  "CMakeFiles/rr_metrics.dir/registry.cpp.o.d"
+  "librr_metrics.a"
+  "librr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_net.dir/network.cpp.o"
+  "CMakeFiles/rr_net.dir/network.cpp.o.d"
+  "librr_net.a"
+  "librr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

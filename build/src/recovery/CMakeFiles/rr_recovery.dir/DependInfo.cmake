@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/messages.cpp" "src/recovery/CMakeFiles/rr_recovery.dir/messages.cpp.o" "gcc" "src/recovery/CMakeFiles/rr_recovery.dir/messages.cpp.o.d"
+  "/root/repo/src/recovery/ord_service.cpp" "src/recovery/CMakeFiles/rr_recovery.dir/ord_service.cpp.o" "gcc" "src/recovery/CMakeFiles/rr_recovery.dir/ord_service.cpp.o.d"
+  "/root/repo/src/recovery/output_commit.cpp" "src/recovery/CMakeFiles/rr_recovery.dir/output_commit.cpp.o" "gcc" "src/recovery/CMakeFiles/rr_recovery.dir/output_commit.cpp.o.d"
+  "/root/repo/src/recovery/recovery_manager.cpp" "src/recovery/CMakeFiles/rr_recovery.dir/recovery_manager.cpp.o" "gcc" "src/recovery/CMakeFiles/rr_recovery.dir/recovery_manager.cpp.o.d"
+  "/root/repo/src/recovery/replay.cpp" "src/recovery/CMakeFiles/rr_recovery.dir/replay.cpp.o" "gcc" "src/recovery/CMakeFiles/rr_recovery.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbl/CMakeFiles/rr_fbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/rr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

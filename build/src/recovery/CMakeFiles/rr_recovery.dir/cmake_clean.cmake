@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_recovery.dir/messages.cpp.o"
+  "CMakeFiles/rr_recovery.dir/messages.cpp.o.d"
+  "CMakeFiles/rr_recovery.dir/ord_service.cpp.o"
+  "CMakeFiles/rr_recovery.dir/ord_service.cpp.o.d"
+  "CMakeFiles/rr_recovery.dir/output_commit.cpp.o"
+  "CMakeFiles/rr_recovery.dir/output_commit.cpp.o.d"
+  "CMakeFiles/rr_recovery.dir/recovery_manager.cpp.o"
+  "CMakeFiles/rr_recovery.dir/recovery_manager.cpp.o.d"
+  "CMakeFiles/rr_recovery.dir/replay.cpp.o"
+  "CMakeFiles/rr_recovery.dir/replay.cpp.o.d"
+  "librr_recovery.a"
+  "librr_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/rr_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/rr_runtime.dir/node.cpp.o"
+  "CMakeFiles/rr_runtime.dir/node.cpp.o.d"
+  "librr_runtime.a"
+  "librr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

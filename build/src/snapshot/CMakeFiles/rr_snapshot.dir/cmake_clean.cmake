@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_snapshot.dir/snapshot.cpp.o"
+  "CMakeFiles/rr_snapshot.dir/snapshot.cpp.o.d"
+  "librr_snapshot.a"
+  "librr_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_storage.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/rr_storage.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/rr_storage.dir/stable_storage.cpp.o"
+  "CMakeFiles/rr_storage.dir/stable_storage.cpp.o.d"
+  "librr_storage.a"
+  "librr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

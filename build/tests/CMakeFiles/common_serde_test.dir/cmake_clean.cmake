@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_serde_test.dir/common_serde_test.cpp.o"
+  "CMakeFiles/common_serde_test.dir/common_serde_test.cpp.o.d"
+  "common_serde_test"
+  "common_serde_test.pdb"
+  "common_serde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

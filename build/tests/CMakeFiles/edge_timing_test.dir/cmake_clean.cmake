@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_timing_test.dir/edge_timing_test.cpp.o"
+  "CMakeFiles/edge_timing_test.dir/edge_timing_test.cpp.o.d"
+  "edge_timing_test"
+  "edge_timing_test.pdb"
+  "edge_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

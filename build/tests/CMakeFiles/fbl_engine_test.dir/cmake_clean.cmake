@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbl_engine_test.dir/fbl_engine_test.cpp.o"
+  "CMakeFiles/fbl_engine_test.dir/fbl_engine_test.cpp.o.d"
+  "fbl_engine_test"
+  "fbl_engine_test.pdb"
+  "fbl_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

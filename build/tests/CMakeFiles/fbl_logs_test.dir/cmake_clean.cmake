@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbl_logs_test.dir/fbl_logs_test.cpp.o"
+  "CMakeFiles/fbl_logs_test.dir/fbl_logs_test.cpp.o.d"
+  "fbl_logs_test"
+  "fbl_logs_test.pdb"
+  "fbl_logs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbl_logs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

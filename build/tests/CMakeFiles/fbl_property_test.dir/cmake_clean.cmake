@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbl_property_test.dir/fbl_property_test.cpp.o"
+  "CMakeFiles/fbl_property_test.dir/fbl_property_test.cpp.o.d"
+  "fbl_property_test"
+  "fbl_property_test.pdb"
+  "fbl_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

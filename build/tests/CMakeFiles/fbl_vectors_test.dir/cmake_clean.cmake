@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbl_vectors_test.dir/fbl_vectors_test.cpp.o"
+  "CMakeFiles/fbl_vectors_test.dir/fbl_vectors_test.cpp.o.d"
+  "fbl_vectors_test"
+  "fbl_vectors_test.pdb"
+  "fbl_vectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbl_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

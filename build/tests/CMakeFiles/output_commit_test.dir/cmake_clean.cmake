@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_commit_test.dir/output_commit_test.cpp.o"
+  "CMakeFiles/output_commit_test.dir/output_commit_test.cpp.o.d"
+  "output_commit_test"
+  "output_commit_test.pdb"
+  "output_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

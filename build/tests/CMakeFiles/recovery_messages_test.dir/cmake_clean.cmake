@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_messages_test.dir/recovery_messages_test.cpp.o"
+  "CMakeFiles/recovery_messages_test.dir/recovery_messages_test.cpp.o.d"
+  "recovery_messages_test"
+  "recovery_messages_test.pdb"
+  "recovery_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

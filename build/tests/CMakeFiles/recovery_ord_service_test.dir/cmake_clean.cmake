@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_ord_service_test.dir/recovery_ord_service_test.cpp.o"
+  "CMakeFiles/recovery_ord_service_test.dir/recovery_ord_service_test.cpp.o.d"
+  "recovery_ord_service_test"
+  "recovery_ord_service_test.pdb"
+  "recovery_ord_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_ord_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_replay_test.dir/recovery_replay_test.cpp.o"
+  "CMakeFiles/recovery_replay_test.dir/recovery_replay_test.cpp.o.d"
+  "recovery_replay_test"
+  "recovery_replay_test.pdb"
+  "recovery_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

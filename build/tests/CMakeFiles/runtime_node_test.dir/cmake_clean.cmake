@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_node_test.dir/runtime_node_test.cpp.o"
+  "CMakeFiles/runtime_node_test.dir/runtime_node_test.cpp.o.d"
+  "runtime_node_test"
+  "runtime_node_test.pdb"
+  "runtime_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_serde_test[1]_include.cmake")
+include("/root/repo/build/tests/common_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/fbl_logs_test[1]_include.cmake")
+include("/root/repo/build/tests/fbl_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_ord_service_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/app_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_node_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/output_commit_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/fbl_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fbl_vectors_test[1]_include.cmake")
+include("/root/repo/build/tests/output_commit_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_timing_test[1]_include.cmake")
