@@ -1,0 +1,165 @@
+// Small-buffer-optimized move-only `void()` callable.
+//
+// The simulation kernel schedules tens of millions of events per run; with
+// std::function every scheduled lambda whose captures exceed the library's
+// tiny SSO buffer costs a heap allocation on the hottest path in the system.
+// InlineFn stores captures up to kInlineBytes directly inside the object,
+// which covers every callback the kernel's clients build (network delivery:
+// this + src + dst + Bytes = 40 bytes; storage completion, timer re-arm and
+// supervisor restarts: <= 16 bytes). Larger or potentially-throwing-move
+// callables transparently fall back to a single heap cell, so correctness
+// never depends on the size budget — only speed does. The budget is a
+// deliberate contract: see DESIGN.md "Kernel architecture & performance
+// model" before growing a capture list past it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rr {
+
+class InlineFn {
+ public:
+  /// Captures up to this many bytes live inline (no allocation).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVT<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVT<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      relocate_from(other);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_ != nullptr) {
+        vt_ = other.vt_;
+        relocate_from(other);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Precondition: non-empty.
+  void operator()() { vt_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+  friend bool operator==(const InlineFn& f, std::nullptr_t) noexcept {
+    return f.vt_ == nullptr;
+  }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      if (vt_->destroy != nullptr) vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True when the callable lives in the inline buffer (no heap cell).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vt_ != nullptr && vt_->inline_storage;
+  }
+
+ private:
+  // A null `relocate` means the storage bytes are position-independent and a
+  // plain memcpy moves the callable (trivially-copyable inline captures, and
+  // the heap case where storage holds only an owning pointer); that is the
+  // overwhelmingly common case for kernel events, and it turns every move on
+  // the schedule/dispatch path into a branch + memcpy instead of an indirect
+  // call. A null `destroy` means destruction is a no-op.
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  // move src into raw dst, destroy src
+    void (*destroy)(void*) noexcept;
+    std::uint32_t size;  // bytes to memcpy when relocate == nullptr
+    bool inline_storage;
+  };
+
+  // Inline storage demands a nothrow move so relocate() can be noexcept.
+  template <typename F>
+  static constexpr bool fits_inline = sizeof(F) <= kInlineBytes &&
+                                      alignof(F) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static F* object(void* p) noexcept {
+    return std::launder(reinterpret_cast<F*>(p));
+  }
+  template <typename F>
+  static F* heap_cell(void* p) noexcept {
+    return *std::launder(reinterpret_cast<F**>(p));
+  }
+
+  template <typename F>
+  static constexpr VTable kInlineVT{
+      [](void* p) { (*object<F>(p))(); },
+      std::is_trivially_copyable_v<F>
+          ? nullptr  // position-independent bytes: moved by memcpy
+          : +[](void* src, void* dst) noexcept {
+              ::new (dst) F(std::move(*object<F>(src)));
+              object<F>(src)->~F();
+            },
+      std::is_trivially_destructible_v<F>
+          ? nullptr
+          : +[](void* p) noexcept { object<F>(p)->~F(); },
+      /*size=*/sizeof(F),
+      /*inline_storage=*/true,
+  };
+
+  template <typename F>
+  static constexpr VTable kHeapVT{
+      [](void* p) { (*heap_cell<F>(p))(); },
+      nullptr,  // storage holds only the owning pointer: moved by memcpy
+      [](void* p) noexcept { delete heap_cell<F>(p); },
+      /*size=*/sizeof(F*),
+      /*inline_storage=*/false,
+  };
+
+  /// Move `other`'s callable into this object's storage. Precondition:
+  /// vt_ == other.vt_ != nullptr and this storage is raw.
+  void relocate_from(InlineFn& other) noexcept {
+    if (vt_->relocate != nullptr) {
+      vt_->relocate(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, vt_->size);
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const VTable* vt_{nullptr};
+};
+
+}  // namespace rr

@@ -26,6 +26,40 @@ T get_le(std::span<const std::byte> b) {
 
 }  // namespace
 
+BufferPool& BufferPool::global() noexcept {
+  static BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::acquire(std::size_t reserve) {
+  if (free_.empty()) {
+    ++misses_;
+    Bytes b;
+    b.reserve(reserve);
+    return b;
+  }
+  ++hits_;
+  Bytes b = std::move(free_.back());
+  free_.pop_back();
+  if (b.capacity() < reserve) b.reserve(reserve);
+  return b;
+}
+
+void BufferPool::release(Bytes&& buf) noexcept {
+  const std::size_t cap = buf.capacity();
+  if (cap < kMinRetainBytes || cap > kMaxRetainBytes || free_.size() >= kMaxBuffers) {
+    return;  // let it free; pooling giant or trivial buffers is a net loss
+  }
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+Bytes BufferPool::copy_of(std::span<const std::byte> src) {
+  Bytes b = acquire(src.size());
+  b.insert(b.end(), src.begin(), src.end());
+  return b;
+}
+
 void BufWriter::u8(std::uint8_t v) { put_le(buf_, v); }
 void BufWriter::u16(std::uint16_t v) { put_le(buf_, v); }
 void BufWriter::u32(std::uint32_t v) { put_le(buf_, v); }

@@ -32,11 +32,59 @@ class SerdeError : public Error {
   using Error::Error;
 };
 
-/// Append-only encoder.
+/// Free-list of Bytes buffers that recycles capacity across the encode /
+/// transmit / decode cycle: BufWriter acquires its backing buffer here, and
+/// the delivery side (network, node runtime) releases wire buffers back once
+/// decoded. On the failure-free hot path this makes per-packet buffer
+/// allocation amortize to zero — every send reuses the capacity of an
+/// already-delivered packet.
+///
+/// The pool is capacity-only: acquire() always returns an *empty* buffer, so
+/// pooling is invisible to encoded content and simulation traces. Not
+/// thread-safe — the simulation is single-threaded by construction.
+class BufferPool {
+ public:
+  /// Process-wide pool. A global (rather than per-Simulator) instance so the
+  /// simulator-free protocol layers (fbl, recovery) share the same free
+  /// list as the network and storage models.
+  [[nodiscard]] static BufferPool& global() noexcept;
+
+  /// An empty buffer with at least `reserve` capacity when one is pooled
+  /// (largest-first); freshly reserved otherwise.
+  [[nodiscard]] Bytes acquire(std::size_t reserve);
+
+  /// Return a dead buffer's capacity to the pool. Oversized or tiny buffers
+  /// and overflow beyond kMaxBuffers are simply freed.
+  void release(Bytes&& buf) noexcept;
+
+  /// Pool-backed copy (for fan-out paths that transmit one frame N times).
+  [[nodiscard]] Bytes copy_of(std::span<const std::byte> src);
+
+  [[nodiscard]] std::size_t pooled() const noexcept { return free_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Buffers kept at most; beyond this, released buffers are freed.
+  static constexpr std::size_t kMaxBuffers = 64;
+  /// Largest capacity worth retaining (checkpoint blobs stay out).
+  static constexpr std::size_t kMaxRetainBytes = std::size_t{1} << 20;
+  /// Smallest capacity worth retaining.
+  static constexpr std::size_t kMinRetainBytes = 16;
+
+  BufferPool() { free_.reserve(kMaxBuffers); }  // keeps release() nonallocating
+
+ private:
+  std::vector<Bytes> free_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+/// Append-only encoder. The sized constructor draws its backing buffer from
+/// BufferPool::global(), so encode paths recycle delivered packets' storage.
 class BufWriter {
  public:
   BufWriter() = default;
-  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  explicit BufWriter(std::size_t reserve) : buf_(BufferPool::global().acquire(reserve)) {}
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);

@@ -42,6 +42,16 @@ bool Network::is_up(ProcessId id) const {
   return it != endpoints_.end() && it->second.up;
 }
 
+Time& Network::horizon_for(std::uint64_t key) {
+  const auto it = std::lower_bound(
+      channel_horizon_.begin(), channel_horizon_.end(), key,
+      [](const ChannelHorizon& h, std::uint64_t k) { return h.key < k; });
+  if (it != channel_horizon_.end() && it->key == key) return it->at;
+  // First packet on this channel; O(channels) insert, amortized out since
+  // the channel set is bounded by attached pairs.
+  return channel_horizon_.insert(it, ChannelHorizon{key, kTimeZero})->at;
+}
+
 Duration Network::transit_time(std::size_t bytes) {
   const auto serialization =
       static_cast<Duration>(static_cast<double>(bytes) / config_.bytes_per_second * 1e9);
@@ -65,9 +75,8 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
   metrics_.counter("net.bytes").add(bytes);
 
   // FIFO: never deliver earlier than the previous packet on this channel.
-  const auto key = channel_key(src, dst);
   Time deliver_at = sim_.now() + transit_time(bytes);
-  auto& horizon = channel_horizon_[key];
+  Time& horizon = horizon_for(channel_key(src, dst));
   deliver_at = std::max(deliver_at, horizon + config_.fifo_spacing);
   horizon = deliver_at;
 
@@ -78,6 +87,7 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
       metrics_.counter("net.dropped_at_delivery").add();
       RR_TRACE("net", "drop in-flight %s -> %s (down)", to_string(src).c_str(),
                to_string(dst).c_str());
+      BufferPool::global().release(std::move(payload));
       return;
     }
     it->second.endpoint->deliver(src, std::move(payload));
@@ -86,10 +96,12 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
 }
 
 void Network::broadcast(ProcessId src, const Bytes& payload) {
-  // Deterministic fan-out order: sorted destination ids.
+  // Deterministic fan-out order: sorted destination ids. Each transmission
+  // needs its own buffer (independent delivery lifetimes); draw the copies
+  // from the pool instead of fresh allocations.
   std::vector<ProcessId> dsts = attached();
   for (const ProcessId dst : dsts) {
-    if (dst != src) send(src, dst, payload);
+    if (dst != src) send(src, dst, BufferPool::global().copy_of(payload));
   }
 }
 

@@ -32,7 +32,9 @@ namespace rr::net {
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
-  /// Called in virtual time when a packet arrives. `payload` is owned.
+  /// Called in virtual time when a packet arrives. `payload` is owned; an
+  /// implementation that fully consumes it should hand the dead buffer back
+  /// via BufferPool::global().release() so the send path can reuse it.
   virtual void deliver(ProcessId src, Bytes payload) = 0;
 };
 
@@ -83,15 +85,26 @@ class Network {
     bool up{true};
   };
 
+  /// The monotonic delivery horizon of one (src, dst) channel, keyed by the
+  /// packed (src << 32 | dst) id. Kept as a flat vector sorted by key: the
+  /// channel set is small and stops growing once every pair has spoken, so
+  /// the per-packet lookup is a branch-free binary search over contiguous
+  /// memory instead of a hash probe.
+  struct ChannelHorizon {
+    std::uint64_t key;
+    Time at;
+  };
+
   [[nodiscard]] Duration transit_time(std::size_t bytes);
+  /// Horizon slot for the channel, inserted (at kTimeZero) on first use.
+  [[nodiscard]] Time& horizon_for(std::uint64_t key);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
   metrics::Registry& metrics_;
   Rng rng_;
   std::unordered_map<ProcessId, EndpointState> endpoints_;
-  /// Per-channel monotonic delivery horizon for FIFO enforcement.
-  std::unordered_map<std::uint64_t, Time> channel_horizon_;
+  std::vector<ChannelHorizon> channel_horizon_;  // sorted by key
 };
 
 }  // namespace rr::net

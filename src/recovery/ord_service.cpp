@@ -12,8 +12,10 @@ OrdService::OrdService(ProcessId self, net::Network& network, metrics::Registry&
 
 void OrdService::deliver(ProcessId src, Bytes payload) {
   BufReader r(payload);
-  if (fbl::decode_kind(r) != fbl::FrameKind::kControl) return;  // heartbeats etc.
-  handle(src, decode_control(r));
+  if (fbl::decode_kind(r) == fbl::FrameKind::kControl) {  // heartbeats etc. skip
+    handle(src, decode_control(r));
+  }
+  BufferPool::global().release(std::move(payload));
 }
 
 void OrdService::handle(ProcessId src, const ControlMessage& m) {

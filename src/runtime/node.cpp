@@ -376,7 +376,13 @@ void Node::finish_recovery() {
 // --- receive path ---------------------------------------------------------
 
 void Node::deliver(ProcessId src, Bytes payload) {
-  if (!alive_) return;  // the network filters this; belt and braces
+  if (alive_) handle_wire(src, payload);
+  // The frame is fully decoded (copied out) by now; recycle the wire buffer
+  // so the next send's BufWriter picks it up instead of allocating.
+  BufferPool::global().release(std::move(payload));
+}
+
+void Node::handle_wire(ProcessId src, const Bytes& payload) {
   try {
     BufReader r(payload);
     switch (fbl::decode_kind(r)) {
@@ -736,7 +742,7 @@ void Node::take_checkpoint() {
     fbl::CkptNoticeFrame notice{rsn, marks};
     const Bytes frame = notice.encode();
     for (const ProcessId pid : processes_) {
-      if (pid != config_.id) network_.send(config_.id, pid, frame);
+      if (pid != config_.id) network_.send(config_.id, pid, BufferPool::global().copy_of(frame));
     }
     // Self-GC: our own receipts up to rsn are subsumed by the checkpoint.
     engine_.det_log().prune_dest(config_.id, rsn);
@@ -771,7 +777,7 @@ void Node::send_heartbeats() {
   if (!alive_) return;
   const Bytes frame = fbl::HeartbeatFrame{inc_}.encode();
   for (const ProcessId pid : processes_) {
-    if (pid != config_.id) network_.send(config_.id, pid, frame);
+    if (pid != config_.id) network_.send(config_.id, pid, BufferPool::global().copy_of(frame));
   }
 }
 

@@ -158,6 +158,7 @@ class Node : public net::Endpoint {
   void finish_recovery();
 
   // Receive path.
+  void handle_wire(ProcessId src, const Bytes& payload);
   void handle_app_frame(ProcessId src, fbl::AppFrame frame);
   void try_deliver_app(ProcessId src, const fbl::AppFrame& frame);
   void drain_held(ProcessId src);

@@ -15,10 +15,26 @@ Simulator::~Simulator() { logging::set_clock(nullptr); }
 EventId Simulator::schedule_at(Time t, EventFn fn) {
   RR_CHECK_MSG(t >= now_, "cannot schedule in the past");
   RR_CHECK(fn != nullptr);
-  const EventId id{next_seq_++};
-  queue_.push(Event{t, id.value, std::move(fn)});
-  pending_.insert(id.value);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(live_seq_.size());
+    RR_CHECK_MSG(slot < kSlotMask, "too many concurrently pending events");
+    if ((slot & (kSlotChunkCap - 1)) == 0) {
+      fn_chunks_.push_back(std::make_unique<InlineFn[]>(kSlotChunkCap));
+    }
+    live_seq_.push_back(0);
+    gen_.push_back(1);
+  }
+  const std::uint64_t seq = next_seq_++;
+  RR_CHECK_MSG(seq >> (64 - kSlotBits) == 0, "event sequence space exhausted");
+  fn_ref(slot) = std::move(fn);
+  live_seq_[slot] = seq;
+  heap_.push(EventHeap::Entry{t, (seq << kSlotBits) | slot});
+  ++live_;
+  return EventId{slot, gen_[slot]};
 }
 
 EventId Simulator::schedule_after(Duration d, EventFn fn) {
@@ -26,38 +42,50 @@ EventId Simulator::schedule_after(Duration d, EventFn fn) {
   return schedule_at(now_ + d, std::move(fn));
 }
 
+void Simulator::release(std::uint32_t slot) {
+  fn_ref(slot).reset();
+  live_seq_[slot] = 0;
+  ++gen_[slot];  // invalidates the caller's EventId
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 bool Simulator::cancel(EventId id) {
-  // Lazy deletion: mark and skip at pop time. Cancelling an event that
-  // already ran (or was already cancelled) returns false.
-  if (!id.valid() || pending_.erase(id.value) == 0) return false;
-  cancelled_.insert(id.value);
+  if (!id.valid() || id.slot >= gen_.size()) return false;
+  if (live_seq_[id.slot] == 0 || gen_[id.slot] != id.gen) {
+    return false;  // already ran / cancelled
+  }
+  release(id.slot);
   return true;
 }
 
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we move via const_cast after pop decision
-    // is made — standard lazy-deletion idiom.
-    const Event& top = queue_.top();
-    if (cancelled_.erase(top.seq) > 0) {
-      queue_.pop();
-      continue;
-    }
-    out = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    pending_.erase(out.seq);
-    return true;
+const EventHeap::Entry* Simulator::peek() {
+  while (!heap_.empty()) {
+    const EventHeap::Entry& e = heap_.top();
+    if (live_seq_[key_slot(e.key)] == key_seq(e.key)) return &e;
+    heap_.pop();  // cancelled: the slot moved on, drop the stale entry
   }
-  return false;
+  return nullptr;
+}
+
+InlineFn Simulator::take_top() {
+  const std::uint32_t slot = key_slot(heap_.top().key);
+  InlineFn fn = std::move(fn_ref(slot));
+  release(slot);
+  heap_.pop();
+  return fn;
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  RR_CHECK(ev.at >= now_);
-  now_ = ev.at;
+  const EventHeap::Entry* e = peek();
+  if (e == nullptr) return false;
+  const Time at = e->at;
+  InlineFn fn = take_top();
+  // An event can be overdue only after stop() halted a run_until() that
+  // then advanced the clock past it; it runs late at the current time.
+  if (at > now_) now_ = at;
   ++executed_;
-  ev.fn();
+  fn();
   return true;
 }
 
@@ -75,23 +103,18 @@ std::size_t Simulator::run_until(Time t, std::size_t max_events) {
   RR_CHECK(t >= now_);
   stopped_ = false;
   std::size_t n = 0;
-  for (;;) {
-    if (stopped_) break;
-    Event ev;
-    if (!pop_next(ev)) break;
-    if (ev.at > t) {
-      // Not due yet: push back and finish.
-      pending_.insert(ev.seq);
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.at;
+  while (!stopped_) {
+    const EventHeap::Entry* e = peek();
+    if (e == nullptr || e->at > t) break;  // drained, or next event not due
+    const Time at = e->at;
+    InlineFn fn = take_top();
+    if (at > now_) now_ = at;
     ++executed_;
-    ev.fn();
+    fn();
     ++n;
     RR_CHECK_MSG(n <= max_events, "event budget exhausted — runaway schedule?");
   }
-  now_ = t;
+  now_ = t;  // the clock lands on exactly t, also when stopped mid-run
   return n;
 }
 

@@ -6,24 +6,36 @@
 // pure function of the initial schedule and the seed: two runs with the
 // same inputs produce bit-identical traces, which is what lets the test
 // suite treat an entire distributed execution as a reproducible value.
+//
+// Hot-path design (see DESIGN.md "Kernel architecture & performance model"):
+// callbacks are InlineFn (64-byte inline captures, no per-event allocation),
+// scheduled events live in a generation-tagged slot arena so cancel is an
+// O(1) array write and the pop loop does no hashing, and the ready queue is
+// an explicit 4-ary heap over 16-byte (time, packed seq|slot) keys.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/inline_fn.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/event_heap.hpp"
 
 namespace rr::sim {
 
-/// Handle for a scheduled event; value 0 is "no event".
+/// Handle for a scheduled event: an arena slot plus the generation the slot
+/// carried when the event was scheduled. A handle goes stale the moment its
+/// event runs or is cancelled — the slot's generation moves on, and every
+/// later operation through the stale handle is rejected, so slot reuse is
+/// invisible to callers. Generation 0 is "no event".
 struct EventId {
-  std::uint64_t value{0};
-  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  std::uint32_t slot{0};
+  std::uint32_t gen{0};
+  [[nodiscard]] constexpr bool valid() const noexcept { return gen != 0; }
   friend constexpr auto operator<=>(EventId, EventId) = default;
 };
 
@@ -31,7 +43,7 @@ inline constexpr EventId kNoEvent{};
 
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  using EventFn = InlineFn;
 
   explicit Simulator(std::uint64_t seed = 1);
   ~Simulator();
@@ -49,7 +61,8 @@ class Simulator {
   EventId schedule_after(Duration d, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or the id is invalid.
+  /// cancelled, or the id is invalid. O(1): the slot is disarmed and its
+  /// generation bumped; the heap entry is skipped lazily at pop time.
   bool cancel(EventId id);
 
   /// Run the next event; returns false when the queue is empty.
@@ -59,13 +72,16 @@ class Simulator {
   /// Aborts (RR_CHECK) past `max_events` — a runaway-protocol backstop.
   std::size_t run(std::size_t max_events = kDefaultMaxEvents);
 
-  /// Run every event with time <= t, then advance the clock to exactly t.
+  /// Run every event with time <= t, then advance the clock to exactly t —
+  /// also when stop() halts the run early. Events due at or before t that
+  /// did not get to run stay pending and execute at the (later) current
+  /// time; the clock never moves backwards.
   std::size_t run_until(Time t, std::size_t max_events = kDefaultMaxEvents);
 
   /// Request that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
   [[nodiscard]] std::size_t events_executed() const noexcept { return executed_; }
 
   /// Root RNG; components should fork() their own streams from it.
@@ -74,34 +90,61 @@ class Simulator {
   static constexpr std::size_t kDefaultMaxEvents = 200'000'000;
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  // Arena layout. The hot pop loop only needs "is heap entry e still live?",
+  // answered by comparing e's packed seq against live_seq_[slot] — a dense
+  // u64 array the CPU streams through without touching the 80-byte callback
+  // cells. The callbacks themselves live in fixed-size chunks that are never
+  // relocated: growing the arena allocates one new chunk and moves only the
+  // chunk-pointer vector, instead of move-constructing every existing
+  // InlineFn the way a flat std::vector would on reallocation. `gen_[slot]`
+  // counts how many events have occupied the cell; it bumps whenever the
+  // occupant leaves (ran or cancelled), which is what invalidates
+  // outstanding EventIds.
+  static constexpr std::uint32_t kSlotChunkShift = 8;  // 256 callbacks per chunk
+  static constexpr std::uint32_t kSlotChunkCap = 1u << kSlotChunkShift;
 
-  /// Pops the next non-cancelled event, or returns false.
-  bool pop_next(Event& out);
+  // Heap keys pack (seq << kSlotBits) | slot into one u64: seq in the high
+  // bits makes key order the insertion order, and the slot rides along for
+  // free. Bounds: 2^24 concurrently-pending events, 2^40 schedulings per
+  // Simulator lifetime (checked).
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
+  static constexpr std::uint32_t key_slot(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key & kSlotMask);
+  }
+  static constexpr std::uint64_t key_seq(std::uint64_t key) noexcept {
+    return key >> kSlotBits;
+  }
+
+  [[nodiscard]] InlineFn& fn_ref(std::uint32_t s) noexcept {
+    return fn_chunks_[s >> kSlotChunkShift][s & (kSlotChunkCap - 1)];
+  }
+
+  /// Drop stale heap entries; returns the next live entry or nullptr.
+  const EventHeap::Entry* peek();
+  /// Extract the callback of the live top entry, free its slot, pop it.
+  InlineFn take_top();
+  void release(std::uint32_t slot);
 
   Time now_{kTimeZero};
   std::uint64_t next_seq_{1};
   std::size_t executed_{0};
+  std::size_t live_{0};
   bool stopped_{false};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_;    // ids scheduled, not yet run
-  std::unordered_set<std::uint64_t> cancelled_;  // ids to skip at pop time
+  EventHeap heap_;
+  std::vector<std::unique_ptr<InlineFn[]>> fn_chunks_;
+  std::vector<std::uint64_t> live_seq_;  // 0 = slot empty, else seq of occupant
+  std::vector<std::uint32_t> gen_;       // EventId validity; bumps on release
+  std::vector<std::uint32_t> free_slots_;
   Rng rng_;
 };
 
 /// Self-rescheduling periodic timer. Not started until start() is called;
 /// stop() is idempotent; destruction cancels any pending tick. The period
-/// may be changed between ticks via set_period().
+/// may be changed between ticks via set_period(); it applies from the next
+/// arm, so a set_period() inside the tick callback affects the tick after
+/// the one already armed.
 class RepeatingTimer {
  public:
   RepeatingTimer(Simulator& sim, Duration period, std::function<void()> on_tick);

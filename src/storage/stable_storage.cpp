@@ -22,19 +22,42 @@ Time StableStorage::reserve(Duration transfer) {
   return busy_until_;
 }
 
+void StableStorage::complete_front() {
+  RR_CHECK(!queue_.empty());
+  PendingOp op = std::move(queue_.front());
+  queue_.pop_front();
+  switch (op.kind) {
+    case PendingOp::Kind::kWrite:
+      // Commit point: the medium is updated only when the transfer finishes,
+      // so a crash mid-write loses the write, never torn data.
+      blocks_[op.key] = std::move(op.data);
+      if (op.done) op.done();
+      break;
+    case PendingOp::Kind::kRead: {
+      const auto found = blocks_.find(op.key);
+      if (found == blocks_.end()) {
+        op.read_done(std::nullopt);
+      } else {
+        op.read_done(found->second);
+      }
+      break;
+    }
+    case PendingOp::Kind::kErase:
+      blocks_.erase(op.key);
+      if (op.done) op.done();
+      break;
+  }
+}
+
 void StableStorage::write(std::string key, Bytes data, WriteCallback done) {
   const auto transfer = static_cast<Duration>(
       static_cast<double>(data.size()) / config_.bytes_per_second * 1e9);
   metrics_.counter(prefix_ + ".writes").add();
   metrics_.counter(prefix_ + ".bytes_written").add(data.size());
   const Time at = reserve(transfer);
-  sim_.schedule_at(at, [this, key = std::move(key), data = std::move(data),
-                        done = std::move(done)]() mutable {
-    // Commit point: the medium is updated only when the transfer finishes,
-    // so a crash mid-write loses the write, never torn data.
-    blocks_[key] = std::move(data);
-    if (done) done();
-  });
+  queue_.push_back(PendingOp{PendingOp::Kind::kWrite, std::move(key), std::move(data),
+                             std::move(done), nullptr});
+  sim_.schedule_at(at, [this] { complete_front(); });
 }
 
 void StableStorage::read(std::string key, ReadCallback done) {
@@ -48,23 +71,17 @@ void StableStorage::read(std::string key, ReadCallback done) {
   metrics_.counter(prefix_ + ".reads").add();
   metrics_.counter(prefix_ + ".bytes_read").add(bytes);
   const Time at = reserve(transfer);
-  sim_.schedule_at(at, [this, key = std::move(key), done = std::move(done)] {
-    const auto found = blocks_.find(key);
-    if (found == blocks_.end()) {
-      done(std::nullopt);
-    } else {
-      done(found->second);
-    }
-  });
+  queue_.push_back(
+      PendingOp{PendingOp::Kind::kRead, std::move(key), {}, nullptr, std::move(done)});
+  sim_.schedule_at(at, [this] { complete_front(); });
 }
 
 void StableStorage::erase(std::string key, WriteCallback done) {
   metrics_.counter(prefix_ + ".erases").add();
   const Time at = reserve(kDurationZero);
-  sim_.schedule_at(at, [this, key = std::move(key), done = std::move(done)] {
-    blocks_.erase(key);
-    if (done) done();
-  });
+  queue_.push_back(
+      PendingOp{PendingOp::Kind::kErase, std::move(key), {}, std::move(done), nullptr});
+  sim_.schedule_at(at, [this] { complete_front(); });
 }
 
 bool StableStorage::contains(const std::string& key) const { return blocks_.contains(key); }

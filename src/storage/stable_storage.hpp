@@ -66,14 +66,31 @@ class StableStorage {
   [[nodiscard]] const StorageConfig& config() const noexcept { return config_; }
 
  private:
+  /// One queued device operation. The device is serial and reserve() hands
+  /// out strictly ordered completion times, so completions fire in exactly
+  /// the order ops were issued — a FIFO of parked ops lets the scheduled
+  /// event capture nothing but `this`, keeping the kernel hot path free of
+  /// per-op closure allocations.
+  struct PendingOp {
+    enum class Kind : std::uint8_t { kWrite, kRead, kErase };
+    Kind kind;
+    std::string key;
+    Bytes data;           // write payload
+    WriteCallback done;   // write / erase completion
+    ReadCallback read_done;
+  };
+
   /// Reserve a device slot of length `transfer`; returns completion time.
   Time reserve(Duration transfer);
+  /// Apply the oldest queued op to the medium and run its callback.
+  void complete_front();
 
   sim::Simulator& sim_;
   StorageConfig config_;
   metrics::Registry& metrics_;
   std::string prefix_;
   std::map<std::string, Bytes> blocks_;
+  std::deque<PendingOp> queue_;
   Time busy_until_{kTimeZero};
 };
 

@@ -1,0 +1,205 @@
+// InlineFn: the kernel's allocation-free callable. Exercises inline vs heap
+// placement, move semantics, destruction counts and the size budget that
+// keeps every kernel callback allocation-free.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/inline_fn.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace rr {
+namespace {
+
+TEST(InlineFn, DefaultIsEmpty) {
+  InlineFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  InlineFn g = nullptr;
+  EXPECT_TRUE(g == nullptr);
+}
+
+TEST(InlineFn, InvokesSmallLambdaInline) {
+  int hits = 0;
+  InlineFn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, KernelShapedCapturesStayInline) {
+  // The shapes the simulator actually schedules: network delivery
+  // (this + src + dst + Bytes) and storage completion (this only).
+  struct Fake {
+    void deliver(ProcessId, const Bytes&) {}
+  } fake;
+  Bytes payload(128);
+  ProcessId src{1}, dst{2};
+  InlineFn net = [&fake, src, dst, payload = std::move(payload)]() mutable {
+    fake.deliver(src, payload);
+  };
+  EXPECT_TRUE(net.is_inline());
+  net();
+
+  InlineFn storage = [&fake] { (void)fake; };
+  EXPECT_TRUE(storage.is_inline());
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineBytes
+  big[7] = 42;
+  std::uint64_t seen = 0;
+  InlineFn f = [big, &seen] { seen = big[7]; };
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFn a = [&hits] { ++hits; };
+  InlineFn b = std::move(a);
+  EXPECT_TRUE(a == nullptr);
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineFn c;
+  c = std::move(b);
+  EXPECT_TRUE(b == nullptr);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFn a = [token] { (void)*token; };
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside a
+  a = [] {};
+  EXPECT_TRUE(watch.expired());  // previous callable destroyed
+}
+
+TEST(InlineFn, ResetDestroysCapturesInlineAndHeap) {
+  auto small = std::make_shared<int>(1);
+  std::weak_ptr<int> small_watch = small;
+  InlineFn f = [small] {};
+  small.reset();
+  EXPECT_TRUE(f.is_inline());
+  f.reset();
+  EXPECT_TRUE(small_watch.expired());
+  EXPECT_TRUE(f == nullptr);
+
+  auto big_token = std::make_shared<int>(2);
+  std::weak_ptr<int> big_watch = big_token;
+  std::array<std::uint64_t, 16> pad{};
+  InlineFn g = [big_token, pad] { (void)pad; };
+  big_token.reset();
+  EXPECT_FALSE(g.is_inline());
+  g = nullptr;
+  EXPECT_TRUE(big_watch.expired());
+}
+
+TEST(InlineFn, DestructorReleasesCaptures) {
+  auto token = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn f = [token] {};
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, MovedFromIsReusable) {
+  int hits = 0;
+  InlineFn a = [&hits] { ++hits; };
+  InlineFn b = std::move(a);
+  a = [&hits] { hits += 10; };
+  a();
+  b();
+  EXPECT_EQ(hits, 11);
+}
+
+TEST(InlineFn, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  InlineFn f = [&hits] { ++hits; };
+  InlineFn& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, WrapsStdFunctionAndFunctionPointers) {
+  std::function<void()> fn = [] {};
+  InlineFn a = fn;  // copy from lvalue
+  EXPECT_TRUE(static_cast<bool>(a));
+  a();
+
+  static int calls = 0;
+  InlineFn b = +[] { ++calls; };
+  EXPECT_TRUE(b.is_inline());
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BufferPool, RecyclesCapacity) {
+  BufferPool pool;
+  Bytes b = pool.acquire(256);
+  EXPECT_EQ(pool.misses(), 1u);
+  b.resize(200);
+  const auto* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  Bytes c = pool.acquire(64);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(c.empty());           // capacity-only: content never leaks
+  EXPECT_GE(c.capacity(), 200u);    // same backing storage
+  EXPECT_EQ(c.data(), data);
+}
+
+TEST(BufferPool, DropsOversizedAndTinyBuffers) {
+  BufferPool pool;
+  Bytes tiny;  // zero capacity
+  pool.release(std::move(tiny));
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  Bytes huge;
+  huge.reserve(BufferPool::kMaxRetainBytes + 1);
+  pool.release(std::move(huge));
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, CopyOfMatchesSource) {
+  BufferPool pool;
+  const Bytes src = to_bytes("pooled fan-out copy");
+  Bytes dup = pool.copy_of(src);
+  EXPECT_EQ(dup, src);
+  pool.release(std::move(dup));
+  Bytes again = pool.copy_of(src);
+  EXPECT_EQ(again, src);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, BoundedRetention) {
+  BufferPool pool;
+  for (std::size_t i = 0; i < BufferPool::kMaxBuffers + 10; ++i) {
+    Bytes b;
+    b.reserve(64);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxBuffers);
+}
+
+}  // namespace
+}  // namespace rr

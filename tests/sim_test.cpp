@@ -73,7 +73,52 @@ TEST(Simulator, DoubleCancelReturnsFalse) {
 TEST(Simulator, CancelInvalidIdReturnsFalse) {
   Simulator sim;
   EXPECT_FALSE(sim.cancel(kNoEvent));
-  EXPECT_FALSE(sim.cancel(EventId{12345}));
+  EXPECT_FALSE(sim.cancel(EventId{12345}));      // unknown slot, gen 0
+  EXPECT_FALSE(sim.cancel(EventId{12345, 7}));   // unknown slot, bogus gen
+}
+
+TEST(Simulator, CancelThenRescheduleReusesSlotAndRejectsStaleId) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const EventId a = sim.schedule_at(10, [&] { first = true; });
+  EXPECT_TRUE(sim.cancel(a));
+  const EventId b = sim.schedule_at(20, [&] { second = true; });
+  // The arena reuses the freed slot under a new generation; the stale
+  // handle must not be able to touch the new occupant.
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, StaleIdAfterExecutionRejected) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(5, [] {});
+  sim.run();
+  bool ran = false;
+  const EventId b = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_EQ(b.slot, a.slot);  // slot freed by execution, reused
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, ManyCancelRescheduleCyclesStayConsistent) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.schedule_at(1, [&] { ++fired; });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));
+    id = sim.schedule_at(1 + i % 3, [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(Simulator, PendingEventsTracksCancellation) {
@@ -115,6 +160,27 @@ TEST(Simulator, RunUntilKeepsFutureEventPending) {
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.run_until(100);
   EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStoppedMidRunStillAdvancesClockToTarget) {
+  Simulator sim;
+  std::vector<Time> fired;
+  sim.schedule_at(5, [&] {
+    fired.push_back(sim.now());
+    sim.stop();
+  });
+  sim.schedule_at(7, [&] { fired.push_back(sim.now()); });
+  sim.run_until(10);
+  // stop() halts processing after the current event, but run_until's
+  // contract is that the clock lands on exactly t.
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(fired, (std::vector<Time>{5}));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // The skipped event is overdue; it runs late at the current time and the
+  // clock never moves backwards.
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{5, 10}));
+  EXPECT_EQ(sim.now(), 10);
 }
 
 TEST(Simulator, StopHaltsRun) {
@@ -208,6 +274,49 @@ TEST(RepeatingTimer, RestartResetsPhase) {
   t.start();  // re-arm at t=12
   sim.run_until(30);
   EXPECT_EQ(fired, (std::vector<Time>{10, 22}));
+}
+
+TEST(RepeatingTimer, SetPeriodInsideTickAppliesToNextArm) {
+  Simulator sim;
+  std::vector<Time> fired;
+  RepeatingTimer t(sim, 10, [&] {
+    fired.push_back(sim.now());
+    if (fired.size() == 1) t.set_period(3);
+  });
+  t.start();
+  sim.run_until(30);
+  // The tick at 10 had already re-armed for 20 before the callback ran, so
+  // the new period takes effect only from the arm made at 20.
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 23, 26, 29}));
+}
+
+TEST(RepeatingTimer, StopInsideFirstTickHaltsImmediately) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer t(sim, 10, [&] {
+    ++ticks;
+    t.stop();
+  });
+  t.start();
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 1);
+  EXPECT_FALSE(t.running());
+  EXPECT_EQ(sim.pending_events(), 0u);  // the re-arm was cancelled cleanly
+}
+
+TEST(RepeatingTimer, StopThenRestartInsideTickRearmsFromNow) {
+  Simulator sim;
+  std::vector<Time> fired;
+  RepeatingTimer t(sim, 10, [&] {
+    fired.push_back(sim.now());
+    if (fired.size() == 1) {
+      t.stop();
+      t.start_after(5);
+    }
+  });
+  t.start();
+  sim.run_until(40);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 15, 25, 35}));
 }
 
 TEST(RepeatingTimer, SetPeriodAppliesFromNextArm) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Run the google-benchmark microbenchmark suites and record BENCH_kernel.json.
+
+Runs bench_micro_sim and bench_micro_serde with --benchmark_format=json and
+writes a merged report at the repo root, so the kernel's performance
+trajectory is tracked across PRs. The first report ever written freezes its
+numbers as the "baseline"; later runs keep that baseline and refresh
+"current", reporting the speedup for the key kernel benchmarks.
+
+Usage:
+  tools/bench_report.py [--build-dir build] [--out BENCH_kernel.json]
+                        [--filter REGEX] [--baseline-from FILE]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+SUITES = ("bench_micro_sim", "bench_micro_serde")
+KEY_BENCHMARKS = (
+    "BM_ScheduleAndRun/65536",
+    "BM_CancelHeavy/65536",
+    "BM_AppFrameEncode/64",
+    "BM_AppFrameDecode/64",
+)
+
+
+def run_suite(binary: pathlib.Path, bench_filter: str | None) -> list[dict]:
+    cmd = [str(binary), "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    rows = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        row = {
+            "name": b["name"],
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+            "iterations": b.get("iterations"),
+        }
+        for extra in ("items_per_second", "bytes_per_second"):
+            if extra in b:
+                row[extra] = b[extra]
+        rows.append(row)
+    return rows
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=str(repo_root / "build"))
+    ap.add_argument("--out", default=str(repo_root / "BENCH_kernel.json"))
+    ap.add_argument("--filter", default=None, help="benchmark name regex")
+    ap.add_argument(
+        "--baseline-from",
+        default=None,
+        help="JSON file whose 'current' section becomes the frozen baseline",
+    )
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build_dir)
+    out_path = pathlib.Path(args.out)
+
+    current: dict[str, dict] = {}
+    for suite in SUITES:
+        binary = build / "bench" / suite
+        if not binary.exists():
+            print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
+            return 1
+        print(f"running {suite} ...", file=sys.stderr)
+        for row in run_suite(binary, args.filter):
+            current[row["name"]] = {**row, "suite": suite}
+
+    baseline: dict[str, dict] = {}
+    if args.baseline_from:
+        baseline = json.loads(pathlib.Path(args.baseline_from).read_text())["current"]
+    elif out_path.exists():
+        baseline = json.loads(out_path.read_text()).get("baseline", {})
+
+    speedups = {}
+    for name in KEY_BENCHMARKS:
+        before = baseline.get(name, {}).get("items_per_second")
+        after = current.get(name, {}).get("items_per_second")
+        if before and after:
+            speedups[name] = {
+                "baseline_items_per_second": before,
+                "current_items_per_second": after,
+                "speedup": round(after / before, 3),
+            }
+
+    report = {
+        "schema": 1,
+        "suites": list(SUITES),
+        "key_benchmarks": speedups,
+        "baseline": baseline or current,
+        "current": current,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+    for name, s in speedups.items():
+        print(f"  {name}: {s['speedup']}x items/sec vs baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
