@@ -1,0 +1,404 @@
+#include "check/explorer.hpp"
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "app/workloads.hpp"
+#include "fbl/frame.hpp"
+#include "runtime/cluster.hpp"
+
+namespace rr::check {
+
+namespace {
+
+/// Compressed-timescale cluster for exploration — the same constants the
+/// test suite's fast_cluster() uses, so a repro line reproduces identical
+/// timing whether replayed here or re-created in a test. Kept independent
+/// of tests/ because the explorer is a library, not a test.
+runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
+  runtime::ClusterConfig cfg;
+  cfg.num_processes = s.n;
+  cfg.f = s.f;
+  cfg.algorithm = s.algorithm;
+  cfg.seed = s.seed;
+  cfg.net.base_latency = microseconds(200);
+  cfg.net.jitter_max = microseconds(40);
+  cfg.storage.seek_latency = milliseconds(2);
+  cfg.storage.bytes_per_second = 8.0 * 1024 * 1024;
+  cfg.detector.heartbeat_period = milliseconds(250);
+  cfg.detector.timeout = milliseconds(1000);
+  cfg.supervisor_restart_delay = s.restart;
+  cfg.checkpoint_period = seconds(2);
+  cfg.replay_delivery_cost = microseconds(10);
+  cfg.recovery.progress_period = milliseconds(200);
+  cfg.recovery.phase_timeout = milliseconds(2500);
+  cfg.recovery.bug_skip_gather_restart = s.seeded_bug;
+  cfg.enable_trace = true;  // the checker needs the full structured history
+  return cfg;
+}
+
+app::AppFactory explorer_workload() {
+  return [](ProcessId pid) {
+    app::GossipConfig cfg;
+    cfg.tokens_per_process = 1;
+    cfg.payload_pad = 32;
+    cfg.seed = 100 + pid.value;
+    return std::make_unique<app::GossipApp>(cfg);
+  };
+}
+
+bool is_app_frame(const Bytes& payload) {
+  return !payload.empty() &&
+         std::to_integer<std::uint8_t>(payload[0]) ==
+             static_cast<std::uint8_t>(fbl::FrameKind::kApp);
+}
+
+/// Injections that name processes outside the cluster are ignored (this is
+/// what lets the shrinker reduce n without first rewriting the schedule).
+bool in_cluster(const Injection& inj, std::uint32_t n) {
+  switch (inj.kind) {
+    case Injection::Kind::kCrashAt:
+      return inj.victim.value < n;
+    case Injection::Kind::kPhaseCrash:
+      return inj.victim == Injection::kFirer || inj.victim.value < n;
+    case Injection::Kind::kDrop:
+    case Injection::Kind::kDelay:
+    case Injection::Kind::kStale:
+      return inj.src.value < n && inj.dst.value < n;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RunOutcome::brief() const {
+  if (!terminated) return "did not terminate (wedged recovery or livelock)";
+  if (!check.ok) return check.violations.empty() ? "checker failed" : check.violations.front();
+  return "ok";
+}
+
+RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule) {
+  runtime::Cluster cluster(explorer_cluster(schedule), explorer_workload());
+
+  struct HookState {
+    const FaultSchedule* schedule;
+    runtime::Cluster* cluster;
+    std::uint64_t phase_events{0};
+    std::uint64_t applied{0};
+    /// Global occurrence count per PhaseId (indexable, values 1..9).
+    std::array<std::uint32_t, 16> phase_count{};
+    std::vector<bool> fired;  // one per injection: phase crash already placed
+  };
+  HookState st;
+  st.schedule = &schedule;
+  st.cluster = &cluster;
+  st.fired.assign(schedule.injections.size(), false);
+
+  cluster.set_phase_probe([&st](const recovery::PhaseEventInfo& info) {
+    ++st.phase_events;
+    const auto slot = static_cast<std::size_t>(info.phase);
+    if (slot < st.phase_count.size()) ++st.phase_count[slot];
+    const std::uint32_t occurrence = st.phase_count[slot];
+    const auto& sched = *st.schedule;
+    for (std::size_t i = 0; i < sched.injections.size(); ++i) {
+      const Injection& inj = sched.injections[i];
+      if (inj.kind != Injection::Kind::kPhaseCrash || st.fired[i]) continue;
+      if (inj.phase != info.phase || inj.occurrence != occurrence) continue;
+      if (!in_cluster(inj, sched.n)) continue;
+      const ProcessId victim = inj.victim == Injection::kFirer ? info.pid : inj.victim;
+      if (victim.value >= sched.n) continue;
+      st.fired[i] = true;
+      ++st.applied;
+      // schedule_at(now + delay): never re-enters the protocol state
+      // machine synchronously, even with delay == 0.
+      st.cluster->crash_at(victim, st.cluster->sim().now() + inj.delay);
+    }
+  });
+
+  cluster.network().set_fault_hook(
+      [&st](ProcessId src, ProcessId dst, const Bytes& payload,
+            std::uint64_t chan_index) -> net::FaultDecision {
+        net::FaultDecision decision;
+        const auto& sched = *st.schedule;
+        for (const Injection& inj : sched.injections) {
+          if (!in_cluster(inj, sched.n) || inj.src != src || inj.dst != dst) continue;
+          switch (inj.kind) {
+            case Injection::Kind::kDrop:
+              // Only application frames: heartbeats and recovery control
+              // are the protocol's own liveness machinery, and the paper's
+              // transport is reliable — drops model lost *payload*.
+              if (chan_index >= inj.index && chan_index < inj.index + inj.count &&
+                  is_app_frame(payload)) {
+                decision.drop = true;
+                ++st.applied;
+              }
+              break;
+            case Injection::Kind::kDelay:
+              if (chan_index >= inj.index && chan_index < inj.index + inj.count) {
+                decision.extra_delay += inj.delay;
+                ++st.applied;
+              }
+              break;
+            case Injection::Kind::kStale:
+              // Duplicate this app frame out of band: the copy arrives
+              // after `delay`, typically after its sender has crashed and
+              // recovered — exactly the straggler incvectors must reject.
+              if (chan_index == inj.index && is_app_frame(payload)) {
+                st.cluster->network().inject(src, dst,
+                                             BufferPool::global().copy_of(payload),
+                                             inj.delay);
+                ++st.applied;
+              }
+              break;
+            default:
+              break;
+          }
+        }
+        return decision;
+      });
+
+  cluster.start();
+  for (const Injection& inj : schedule.injections) {
+    if (inj.kind == Injection::Kind::kCrashAt && in_cluster(inj, schedule.n)) {
+      cluster.crash_at(inj.victim, inj.at);
+      ++st.applied;
+    }
+  }
+
+  cluster.run_until(schedule.horizon);
+  while (!cluster.all_idle() && cluster.sim().now() < schedule.idle_deadline) {
+    cluster.run_for(milliseconds(250));
+  }
+
+  RunOutcome outcome;
+  outcome.terminated = cluster.all_idle();
+  outcome.check = cluster.check_history();
+  outcome.finished_at = cluster.sim().now();
+  outcome.phase_events = st.phase_events;
+  outcome.phase_count = st.phase_count;
+  outcome.injections_applied = st.applied;
+  outcome.recoveries = cluster.all_recoveries().size();
+  outcome.gather_restarts = cluster.metrics().counter_value("recovery.gather_restarts");
+  outcome.state_hash = cluster.state_hash();
+  return outcome;
+}
+
+FaultSchedule ScheduleExplorer::shrink(const FaultSchedule& schedule, std::uint32_t budget) {
+  FaultSchedule best = schedule;
+  auto still_fails = [&budget](const FaultSchedule& candidate) {
+    if (budget == 0) return false;
+    --budget;
+    return !run(candidate).ok();
+  };
+
+  // 1. Drop injections one at a time, to a fixpoint: each surviving
+  //    injection is then individually necessary.
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (std::size_t i = 0; i < best.injections.size() && budget > 0;) {
+      FaultSchedule candidate = best;
+      candidate.injections.erase(candidate.injections.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // 2. Simplify the survivors: zero (then halve) delays, single-packet
+  //    fault windows.
+  for (std::size_t i = 0; i < best.injections.size() && budget > 0; ++i) {
+    if (best.injections[i].delay > 0) {
+      FaultSchedule candidate = best;
+      candidate.injections[i].delay = 0;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+      } else {
+        candidate = best;
+        candidate.injections[i].delay /= 2;
+        if (budget > 0 && still_fails(candidate)) best = std::move(candidate);
+      }
+    }
+    if (best.injections[i].count > 1 && budget > 0) {
+      FaultSchedule candidate = best;
+      candidate.injections[i].count = 1;
+      if (still_fails(candidate)) best = std::move(candidate);
+    }
+  }
+
+  // 3. Shrink the cluster. Out-of-cluster injections are ignored by run(),
+  //    so the candidate filters them out explicitly to keep the repro tidy.
+  while (best.n > best.f + 2 && budget > 0) {
+    FaultSchedule candidate = best;
+    candidate.n = std::max(best.f + 2, best.n / 2);
+    std::erase_if(candidate.injections,
+                  [&](const Injection& inj) { return !in_cluster(inj, candidate.n); });
+    if (candidate.n == best.n || candidate.injections.empty() || !still_fails(candidate)) {
+      break;
+    }
+    best = std::move(candidate);
+  }
+
+  return best;
+}
+
+std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& options) {
+  struct Cell {
+    std::uint32_t n, f;
+  };
+  auto crash = [](std::uint32_t pid, Time at) {
+    Injection inj;
+    inj.kind = Injection::Kind::kCrashAt;
+    inj.victim = ProcessId{pid};
+    inj.at = at;
+    return inj;
+  };
+  auto pcrash = [](recovery::PhaseId phase, std::uint32_t k) {
+    Injection inj;
+    inj.kind = Injection::Kind::kPhaseCrash;
+    inj.victim = Injection::kFirer;
+    inj.phase = phase;
+    inj.occurrence = k;
+    return inj;
+  };
+  auto chan = [](Injection::Kind kind, std::uint32_t src, std::uint32_t dst,
+                 std::uint64_t index, std::uint32_t count, Duration delay) {
+    Injection inj;
+    inj.kind = kind;
+    inj.src = ProcessId{src};
+    inj.dst = ProcessId{dst};
+    inj.index = index;
+    inj.count = count;
+    inj.delay = delay;
+    return inj;
+  };
+
+  std::vector<FaultSchedule> out;
+  const std::uint64_t seeds = options.seeds_per_cell == 0 ? 1 : options.seeds_per_cell;
+
+  if (options.seed_bug) {
+    // Concentrate on concurrent failures: the seeded bug skips the gather
+    // restart, which only matters when a second process fails while a
+    // round is in flight.
+    const Cell cells[] = {{4, 2}, {8, 2}};
+    for (const Cell cell : cells) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const std::uint32_t a = static_cast<std::uint32_t>(seed % cell.n);
+        const std::uint32_t b = (a + 1) % cell.n;
+        for (int variant = 0; variant < 2; ++variant) {
+          FaultSchedule s;
+          s.n = cell.n;
+          s.f = cell.f;
+          s.seed = seed;
+          s.seeded_bug = true;
+          s.injections = {crash(a, seconds(2)), crash(b, milliseconds(2300))};
+          if (variant == 1) {
+            s.injections.push_back(pcrash(recovery::PhaseId::kGatherStarted, 1));
+          }
+          out.push_back(std::move(s));
+          if (options.max_runs != 0 && out.size() >= options.max_runs) return out;
+        }
+      }
+    }
+    return out;
+  }
+
+  const Cell cells[] = {{4, 1}, {4, 2}, {8, 2}};
+  for (const Cell cell : cells) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const std::uint32_t a = static_cast<std::uint32_t>(seed % cell.n);
+      const std::uint32_t b = (a + 1) % cell.n;
+      const std::uint32_t c = (a + 2) % cell.n;
+      for (int variant = 0; variant < 11; ++variant) {
+        FaultSchedule s;
+        s.n = cell.n;
+        s.f = cell.f;
+        s.seed = seed;
+        switch (variant) {
+          case 0:  // plain crash + recovery
+            s.injections = {crash(a, seconds(2))};
+            break;
+          case 1:  // re-crash at each protocol phase boundary
+            s.injections = {crash(a, seconds(2)),
+                            pcrash(recovery::PhaseId::kLeaderElected, 1)};
+            break;
+          case 2:
+            s.injections = {crash(a, seconds(2)),
+                            pcrash(recovery::PhaseId::kGatherStarted, 1)};
+            break;
+          case 3:
+            s.injections = {crash(a, seconds(2)),
+                            pcrash(recovery::PhaseId::kIncVectorBuilt, 1)};
+            break;
+          case 4:
+            s.injections = {crash(a, seconds(2)),
+                            pcrash(recovery::PhaseId::kDepinfoCollected, 1)};
+            break;
+          case 5:
+            s.injections = {crash(a, seconds(2)),
+                            pcrash(recovery::PhaseId::kReplayStarted, 1)};
+            break;
+          case 6:  // leader failure during a concurrent round (f >= 2), or
+                   // a sequential re-crash after full recovery (f == 1)
+            if (cell.f >= 2) {
+              s.injections = {crash(a, seconds(2)), crash(b, milliseconds(2300)),
+                              pcrash(recovery::PhaseId::kGatherStarted, 1)};
+            } else {
+              s.injections = {crash(a, seconds(2)), crash(a, seconds(5))};
+            }
+            break;
+          case 7:  // payload loss around a crash
+            s.injections = {crash(a, seconds(2)),
+                            chan(Injection::Kind::kDrop, b, c, 2, 3, 0),
+                            chan(Injection::Kind::kDrop, c, b, 1, 2, 0)};
+            break;
+          case 8:  // delay below the detector timeout: no false suspicion
+            s.injections = {crash(a, seconds(2)),
+                            chan(Injection::Kind::kDelay, b, c, 1, 3, milliseconds(400))};
+            break;
+          case 9:  // stale straggler from the crashed incarnation
+            s.injections = {crash(a, seconds(2)),
+                            chan(Injection::Kind::kStale, a, b, 1, 1, seconds(3))};
+            break;
+          case 10:  // fault-free protocol under network noise
+            s.injections = {chan(Injection::Kind::kDrop, b, c, 3, 2, 0),
+                            chan(Injection::Kind::kDelay, c, a, 2, 2, milliseconds(300)),
+                            chan(Injection::Kind::kStale, b, c, 0, 1, milliseconds(2500))};
+            break;
+        }
+        out.push_back(std::move(s));
+        if (options.max_runs != 0 && out.size() >= options.max_runs) return out;
+      }
+    }
+  }
+  return out;
+}
+
+ExploreResult ScheduleExplorer::explore(const ExploreOptions& options) {
+  ExploreResult result;
+  for (const FaultSchedule& schedule : matrix(options)) {
+    const RunOutcome outcome = run(schedule);
+    ++result.runs;
+    result.injections_applied += outcome.injections_applied;
+    if (options.on_run) options.on_run(schedule, outcome);
+    if (!outcome.ok()) {
+      ++result.failures;
+      if (result.failures == 1) {
+        result.first_failure = schedule;
+        result.first_outcome = outcome;
+        result.shrunk = shrink(schedule, options.shrink_budget);
+        result.shrunk_outcome = run(result.shrunk);
+        result.replay = result.shrunk.replay_line();
+      }
+      if (options.stop_on_failure) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rr::check

@@ -1,0 +1,101 @@
+// Deterministic fault-schedule explorer.
+//
+// ScheduleExplorer::run() executes one FaultSchedule: it builds a
+// compressed-timescale cluster (the same constants the test suite uses),
+// arms the phase probe and the network fault hook with the schedule's
+// injections, drives the simulation to idle (or the deadline), and feeds
+// the full structured trace through the history checker — including the
+// proof-derived V7 (stale rejection) and V8 (leader-ordinal monotonicity)
+// oracles. Everything is a pure function of the schedule, so any failure
+// is replayable from its one-line form.
+//
+// explore() enumerates a seeded matrix of schedules (grid × seeds × fault
+// variants) and runs each; on the first failure it invokes shrink(), a
+// greedy minimiser that drops injections, halves delays and reduces the
+// cluster, re-running the candidate after every mutation so the result is
+// a *still-failing* minimal repro, printed as a single `--replay` line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "trace/history_checker.hpp"
+
+namespace rr::check {
+
+/// Everything observed from one schedule execution.
+struct RunOutcome {
+  /// Cluster reached all-idle (every process alive, recovered, unblocked)
+  /// before the schedule's idle deadline. A wedged recovery shows up here.
+  bool terminated{false};
+  /// History-checker verdict over the full structured trace (V1–V8).
+  trace::CheckResult check;
+  Time finished_at{0};
+  std::uint64_t phase_events{0};
+  /// Global occurrence count per PhaseId (index by the enum's value).
+  std::array<std::uint32_t, 16> phase_count{};
+  std::uint64_t injections_applied{0};
+  std::uint64_t recoveries{0};
+  std::uint64_t gather_restarts{0};
+  std::uint64_t state_hash{0};
+
+  [[nodiscard]] bool ok() const { return terminated && check.ok; }
+  /// "ok", "did not terminate", or the first checker violation.
+  [[nodiscard]] std::string brief() const;
+};
+
+struct ExploreOptions {
+  /// Truncate the matrix to this many runs (0 = the full matrix).
+  std::uint64_t max_runs{0};
+  /// Seeds per (n, f) grid cell.
+  std::uint64_t seeds_per_cell{32};
+  /// Arm the seeded skip-gather-restart bug in every generated schedule
+  /// (and bias the matrix toward concurrent-failure scenarios that expose
+  /// it). The explorer must then find, shrink and report a failure.
+  bool seed_bug{false};
+  bool stop_on_failure{true};
+  /// Shrink budget: schedule re-executions the minimiser may spend.
+  std::uint32_t shrink_budget{64};
+  /// Progress tap, called after every run.
+  std::function<void(const FaultSchedule&, const RunOutcome&)> on_run;
+};
+
+struct ExploreResult {
+  std::uint64_t runs{0};
+  std::uint64_t failures{0};
+  std::uint64_t injections_applied{0};
+  /// Populated iff failures > 0.
+  FaultSchedule first_failure;
+  RunOutcome first_outcome;
+  FaultSchedule shrunk;
+  RunOutcome shrunk_outcome;
+  /// Self-contained repro for `shrunk` ("--replay seed=..,schedule=..").
+  std::string replay;
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+class ScheduleExplorer {
+ public:
+  /// Execute one schedule; deterministic in the schedule alone.
+  [[nodiscard]] static RunOutcome run(const FaultSchedule& schedule);
+
+  /// Greedy minimisation of a failing schedule: try removing each
+  /// injection, then halving/zeroing delays, then shrinking the cluster,
+  /// keeping every mutation that still fails. Returns the smallest
+  /// still-failing schedule found within the re-execution budget.
+  [[nodiscard]] static FaultSchedule shrink(const FaultSchedule& schedule,
+                                            std::uint32_t budget = 64);
+
+  /// The deterministic schedule matrix explore() runs.
+  [[nodiscard]] static std::vector<FaultSchedule> matrix(const ExploreOptions& options);
+
+  /// Run the matrix; shrink and report the first failure (if any).
+  [[nodiscard]] static ExploreResult explore(const ExploreOptions& options);
+};
+
+}  // namespace rr::check

@@ -1,0 +1,111 @@
+// Fault schedules: the deterministic coordinate system of the explorer.
+//
+// A FaultSchedule names one complete experiment — cluster shape, seed,
+// horizon and a list of injections — such that executing it twice yields
+// bit-identical simulations. Injections are addressed by coordinates that
+// survive re-execution: absolute virtual time for plain crashes, *protocol
+// phase occurrences* for phase crashes (see recovery/phase_hook.hpp), and
+// per-channel send indices for packet faults (see net::FaultHook).
+//
+// The whole schedule round-trips through a single `--replay` line, so a
+// failing run shrunk by the explorer can be handed around as one string:
+//
+//   --replay seed=7,n=4,f=2,alg=nonblocking,
+//            schedule=crash:1@2000000000;pcrash:L@gather-started#1
+//
+// Injection grammar (all times/durations in integer nanoseconds):
+//   crash:<pid>@<ns>                  crash <pid> at absolute time <ns>
+//   pcrash:<pid|L>@<phase>#<k>[+<d>]  crash <pid> (or L = whichever process
+//                                     fired the event) <d> after the k-th
+//                                     global occurrence of <phase>
+//   drop:<src>-<dst>@<i>x<c>          drop app frames <i>..<i+c-1> on the
+//                                     src->dst channel (control frames pass)
+//   delay:<src>-<dst>@<i>x<c>+<d>     add <d> to sends <i>..<i+c-1> on the
+//                                     channel (applied before the FIFO
+//                                     horizon; never reorders)
+//   stale:<src>-<dst>@<i>+<d>         re-inject a copy of app frame <i> on
+//                                     the channel, delivered <d> after the
+//                                     original send (models the stale
+//                                     straggler incvectors must reject)
+//
+// Optional key=value fields besides the cluster shape: `restart=<ns>` sets
+// the supervisor restart delay — stretch it past the failure-detector
+// timeout and a crashed leader stays silent long enough to be suspected,
+// which is what makes the next-ordinal failover reachable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "recovery/phase_hook.hpp"
+#include "recovery/recovery_manager.hpp"
+
+namespace rr::check {
+
+/// One fault, addressable by a coordinate that is stable across re-runs.
+struct Injection {
+  enum class Kind : std::uint8_t { kCrashAt, kPhaseCrash, kDrop, kDelay, kStale };
+
+  /// Wildcard victim for kPhaseCrash: crash whichever process fired the
+  /// phase event (printed as "L" — in practice the round leader).
+  static constexpr ProcessId kFirer{};
+
+  Kind kind{Kind::kCrashAt};
+
+  ProcessId victim{0};    ///< kCrashAt / kPhaseCrash (kFirer = event source)
+  Time at{0};             ///< kCrashAt: absolute crash time
+  recovery::PhaseId phase{recovery::PhaseId::kLeaderElected};  ///< kPhaseCrash
+  std::uint32_t occurrence{1};  ///< kPhaseCrash: 1-based k-th global firing
+  Duration delay{0};      ///< kPhaseCrash/kStale/kDelay extra duration
+
+  ProcessId src{0};       ///< kDrop/kDelay/kStale: channel source
+  ProcessId dst{0};       ///< kDrop/kDelay/kStale: channel destination
+  std::uint64_t index{0}; ///< first affected send index on the channel
+  std::uint32_t count{1}; ///< kDrop/kDelay: consecutive sends affected
+
+  friend bool operator==(const Injection&, const Injection&) = default;
+};
+
+/// Renders the grammar above; parse_injection() inverts it exactly.
+[[nodiscard]] std::string to_string(const Injection& inj);
+[[nodiscard]] bool parse_injection(std::string_view text, Injection& out);
+
+/// CLI token for an algorithm ("nonblocking" | "blocking" | "defer").
+[[nodiscard]] const char* algorithm_token(recovery::Algorithm a);
+[[nodiscard]] bool parse_algorithm(std::string_view token, recovery::Algorithm& out);
+
+/// A complete, self-contained experiment description.
+struct FaultSchedule {
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+  recovery::Algorithm algorithm{recovery::Algorithm::kNonBlocking};
+  std::uint64_t seed{1};
+  /// Minimum virtual time to simulate.
+  Time horizon{seconds(6)};
+  /// Give up on termination past this point (the run is then a failure).
+  Time idle_deadline{seconds(40)};
+  /// Supervisor restart delay (`restart=<ns>`, optional). A value above the
+  /// failure-detector timeout keeps a crashed process silent long enough to
+  /// be *suspected* — the only road to the paper's next-ordinal failover,
+  /// since a restarting process re-announces itself immediately.
+  Duration restart{milliseconds(600)};
+  /// Arms RecoveryConfig::bug_skip_gather_restart (the deliberately seeded
+  /// protocol bug the explorer exists to catch).
+  bool seeded_bug{false};
+  std::vector<Injection> injections;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+  /// One-line key=value form; parse() inverts it exactly.
+  [[nodiscard]] std::string format() const;
+  /// format() prefixed with "--replay " — the shape rrcheck accepts back.
+  [[nodiscard]] std::string replay_line() const;
+  /// Accepts format() output, with or without a leading "--replay ".
+  [[nodiscard]] static bool parse(std::string_view text, FaultSchedule& out);
+};
+
+}  // namespace rr::check

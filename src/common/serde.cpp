@@ -143,6 +143,16 @@ std::uint64_t BufReader::varint() {
   }
 }
 
+std::uint64_t BufReader::count(std::size_t min_element_bytes) {
+  const auto n = varint();
+  const std::size_t min_bytes = min_element_bytes == 0 ? 1 : min_element_bytes;
+  if (n > remaining() / min_bytes) {
+    throw SerdeError("collection count " + std::to_string(n) + " exceeds the " +
+                     std::to_string(remaining()) + " bytes remaining");
+  }
+  return n;
+}
+
 Bytes BufReader::bytes() {
   const auto n = varint();
   auto sp = take(n);

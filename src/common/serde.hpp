@@ -125,6 +125,12 @@ class BufReader {
   [[nodiscard]] double f64();
   [[nodiscard]] bool boolean();
   [[nodiscard]] std::uint64_t varint();
+  /// Varint element count, validated against the bytes actually left: a
+  /// count that cannot possibly be satisfied (each element consumes at
+  /// least `min_element_bytes`) is malformed input and throws SerdeError —
+  /// never a reservation request. Decoders must use this before
+  /// reserve()-ing, or a length-lying buffer turns into an allocation bomb.
+  [[nodiscard]] std::uint64_t count(std::size_t min_element_bytes = 1);
   [[nodiscard]] Bytes bytes();
   [[nodiscard]] std::string str();
   [[nodiscard]] ProcessId process_id() { return ProcessId{u32()}; }

@@ -23,7 +23,7 @@ AppFrame AppFrame::decode(BufReader& r) {
   AppFrame f;
   f.inc = r.u32();
   f.ssn = r.u64();
-  const auto n = r.varint();
+  const auto n = r.count(HeldDeterminant::kWireBytes);
   f.dets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) f.dets.push_back(HeldDeterminant::decode(r));
   f.payload = r.bytes();

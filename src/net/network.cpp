@@ -42,14 +42,14 @@ bool Network::is_up(ProcessId id) const {
   return it != endpoints_.end() && it->second.up;
 }
 
-Time& Network::horizon_for(std::uint64_t key) {
+Network::ChannelHorizon& Network::channel_for(std::uint64_t key) {
   const auto it = std::lower_bound(
       channel_horizon_.begin(), channel_horizon_.end(), key,
       [](const ChannelHorizon& h, std::uint64_t k) { return h.key < k; });
-  if (it != channel_horizon_.end() && it->key == key) return it->at;
+  if (it != channel_horizon_.end() && it->key == key) return *it;
   // First packet on this channel; O(channels) insert, amortized out since
   // the channel set is bounded by attached pairs.
-  return channel_horizon_.insert(it, ChannelHorizon{key, kTimeZero})->at;
+  return *channel_horizon_.insert(it, ChannelHorizon{key, kTimeZero, 0});
 }
 
 Duration Network::transit_time(std::size_t bytes) {
@@ -70,15 +70,32 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
   }
   RR_CHECK_MSG(endpoints_.contains(dst), "send to unknown endpoint");
 
+  ChannelHorizon& chan = channel_for(channel_key(src, dst));
+  const std::uint64_t chan_index = chan.sent++;
+  Duration extra_delay = 0;
+  if (fault_hook_) {
+    const FaultDecision fault = fault_hook_(src, dst, payload, chan_index);
+    if (fault.drop) {
+      metrics_.counter("net.injected_drops").add();
+      BufferPool::global().release(std::move(payload));
+      return 0;
+    }
+    if (fault.extra_delay > 0) {
+      metrics_.counter("net.injected_delays").add();
+      extra_delay = fault.extra_delay;
+    }
+  }
+
   const std::size_t bytes = payload.size() + kHeaderBytes;
   metrics_.counter("net.packets").add();
   metrics_.counter("net.bytes").add(bytes);
 
   // FIFO: never deliver earlier than the previous packet on this channel.
-  Time deliver_at = sim_.now() + transit_time(bytes);
-  Time& horizon = horizon_for(channel_key(src, dst));
-  deliver_at = std::max(deliver_at, horizon + config_.fifo_spacing);
-  horizon = deliver_at;
+  // Injected delay is applied before the horizon so it pushes the channel
+  // back as a whole instead of reordering it.
+  Time deliver_at = sim_.now() + transit_time(bytes) + extra_delay;
+  deliver_at = std::max(deliver_at, chan.at + config_.fifo_spacing);
+  chan.at = deliver_at;
 
   sim_.schedule_at(deliver_at, [this, src, dst, payload = std::move(payload)]() mutable {
     const auto it = endpoints_.find(dst);
@@ -93,6 +110,20 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
     it->second.endpoint->deliver(src, std::move(payload));
   });
   return bytes;
+}
+
+void Network::inject(ProcessId src, ProcessId dst, Bytes payload, Duration delay) {
+  RR_CHECK(delay >= 0);
+  metrics_.counter("net.injected_stale").add();
+  sim_.schedule_after(delay, [this, src, dst, payload = std::move(payload)]() mutable {
+    const auto it = endpoints_.find(dst);
+    if (it == endpoints_.end() || !it->second.up) {
+      metrics_.counter("net.dropped_at_delivery").add();
+      BufferPool::global().release(std::move(payload));
+      return;
+    }
+    it->second.endpoint->deliver(src, std::move(payload));
+  });
 }
 
 void Network::broadcast(ProcessId src, const Bytes& payload) {

@@ -38,6 +38,21 @@ class Endpoint {
   virtual void deliver(ProcessId src, Bytes payload) = 0;
 };
 
+/// Fault-injection verdict for one outgoing packet (see Network::set_fault_hook).
+struct FaultDecision {
+  bool drop{false};          ///< swallow the packet at send time
+  Duration extra_delay{0};   ///< added before the FIFO horizon is applied
+};
+
+/// Consulted on every send that passed the liveness checks. `chan_index` is
+/// the 0-based count of prior sends on the (src, dst) channel — a stable,
+/// deterministic coordinate for schedules ("drop the 4th packet 0→2").
+/// The hook must not call Network::send() synchronously (schedule through
+/// the simulator instead — e.g. via Network::inject()).
+using FaultHook = std::function<FaultDecision(ProcessId src, ProcessId dst,
+                                              const Bytes& payload,
+                                              std::uint64_t chan_index)>;
+
 struct NetworkConfig {
   /// Fixed one-way propagation + protocol-stack latency per packet.
   Duration base_latency = microseconds(250);
@@ -73,6 +88,18 @@ class Network {
   /// send() to every attached endpoint except `src`.
   void broadcast(ProcessId src, const Bytes& payload);
 
+  /// Install (or clear, with nullptr) the per-packet fault hook. Applies
+  /// extra delay *before* the FIFO horizon, so injected delays push the
+  /// whole channel back instead of reordering it.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Schedule a raw payload for delivery to `dst` after `delay`, bypassing
+  /// the sender-liveness check and the FIFO horizon. This models the stale
+  /// straggler the incvector mechanism exists to reject: a packet from a
+  /// dead execution arriving out of band after recovery. The destination's
+  /// down-check still applies at delivery time.
+  void inject(ProcessId src, ProcessId dst, Bytes payload, Duration delay);
+
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::vector<ProcessId> attached() const;
 
@@ -93,11 +120,12 @@ class Network {
   struct ChannelHorizon {
     std::uint64_t key;
     Time at;
+    std::uint64_t sent;  ///< packets sent on this channel (fault coordinates)
   };
 
   [[nodiscard]] Duration transit_time(std::size_t bytes);
-  /// Horizon slot for the channel, inserted (at kTimeZero) on first use.
-  [[nodiscard]] Time& horizon_for(std::uint64_t key);
+  /// Channel slot (horizon + send count), inserted (at kTimeZero) on first use.
+  [[nodiscard]] ChannelHorizon& channel_for(std::uint64_t key);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -105,6 +133,7 @@ class Network {
   Rng rng_;
   std::unordered_map<ProcessId, EndpointState> endpoints_;
   std::vector<ChannelHorizon> channel_horizon_;  // sorted by key
+  FaultHook fault_hook_;
 };
 
 }  // namespace rr::net

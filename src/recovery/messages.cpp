@@ -35,7 +35,7 @@ void encode_rset(BufWriter& w, const std::vector<RMember>& rset) {
 
 std::vector<RMember> decode_rset(BufReader& r) {
   std::vector<RMember> rset;
-  const auto n = r.varint();
+  const auto n = r.count(4 + 8 + 4);  // pid + ord + inc
   rset.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     RMember m;
@@ -54,7 +54,7 @@ void encode_dets(BufWriter& w, const std::vector<fbl::HeldDeterminant>& dets) {
 
 std::vector<fbl::HeldDeterminant> decode_dets(BufReader& r) {
   std::vector<fbl::HeldDeterminant> dets;
-  const auto n = r.varint();
+  const auto n = r.count(fbl::HeldDeterminant::kWireBytes);
   dets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) dets.push_back(fbl::HeldDeterminant::decode(r));
   return dets;
@@ -200,7 +200,7 @@ ControlMessage decode_control(BufReader& r) {
       m.block = r.boolean();
       m.defer = r.boolean();
       m.incvector = fbl::decode_inc_vector(r);
-      const auto n = r.varint();
+      const auto n = r.count(4);  // one pid each
       m.recovering.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m.recovering.push_back(r.process_id());
       return m;
@@ -244,14 +244,14 @@ ControlMessage decode_control(BufReader& r) {
     }
     case CtrlKind::kReplayRequest: {
       ReplayRequest m;
-      const auto n = r.varint();
+      const auto n = r.count(8);  // one ssn each
       m.ssns.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m.ssns.push_back(r.u64());
       return m;
     }
     case CtrlKind::kReplayData: {
       ReplayData m;
-      const auto n = r.varint();
+      const auto n = r.count(8 + 1);  // ssn + length byte
       m.items.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         ReplayData::Item it;

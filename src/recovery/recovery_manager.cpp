@@ -52,7 +52,7 @@ void RecoveryManager::begin_recovery() {
   installed_ = false;
   ord_ = 0;
   // Own floor: everyone must reject our previous incarnation's frames.
-  fbl::raise_incarnation(incvector_, self_, hooks_.my_incarnation());
+  raise_floor(self_, hooks_.my_incarnation());
   RR_CHECK_MSG(!ord_requested_, "ord must be acquired exactly once per incarnation");
   ord_requested_ = true;
   send(ord_service_, OrdRequest{hooks_.my_incarnation()});
@@ -122,7 +122,7 @@ void RecoveryManager::on_control(ProcessId src, const ControlMessage& m) {
     }
   } else if (const auto* install = std::get_if<DepInstall>(&m)) {
     if (recovering_) {
-      fbl::merge_max(incvector_, install->incvector);
+      merge_floors(install->incvector);
       installed_ = true;
       metrics_.counter("recovery.installs_received").add();
       hooks_.install(*install);
@@ -159,10 +159,16 @@ void RecoveryManager::evaluate_leadership(const std::vector<RMember>& rset) {
   }
   if (round_) return;          // already leading a round
   if (covered_all) return;     // nothing new to recover
-  start_round();
+  // Leading despite a lower ordinal in R means that ordinal's process is
+  // suspected dead: this is the paper's next-ordinal failover.
+  bool failover = false;
+  for (const auto& member : rset) {
+    if (member.pid != self_ && member.ord < ord_) failover = true;
+  }
+  start_round(failover);
 }
 
-void RecoveryManager::start_round() {
+void RecoveryManager::start_round(bool failover) {
   Round r;
   r.id = next_round_id_++;
   r.phase = Phase::kRefreshR;
@@ -171,14 +177,22 @@ void RecoveryManager::start_round() {
   metrics_.counter("recovery.rounds").add();
   RR_DEBUG("recov", "%s leads round %llu", to_string(self_).c_str(),
            static_cast<unsigned long long>(round_->id));
+  phase(failover ? PhaseId::kLeaderFailover : PhaseId::kLeaderElected);
   send(ord_service_, RSetRequest{});
 }
 
 void RecoveryManager::restart_round(const char* why) {
   RR_CHECK(round_);
+  if (config_.bug_skip_gather_restart) {
+    // Seeded bug (see RecoveryConfig): leave the round wedged on a reply
+    // that will never come. The explorer must catch the non-termination.
+    metrics_.counter("recovery.bug_restart_skipped").add();
+    return;
+  }
   metrics_.counter("recovery.gather_restarts").add();
   RR_INFO("recov", "%s restarts gather round %llu (%s)", to_string(self_).c_str(),
           static_cast<unsigned long long>(round_->id), why);
+  phase(PhaseId::kGatherRestarted);
   round_.reset();
   start_round();
 }
@@ -204,6 +218,7 @@ void RecoveryManager::on_rset(const std::vector<RMember>& rset) {
       return;
     }
   }
+  phase(PhaseId::kGatherStarted);
   if (config_.algorithm == Algorithm::kNonBlocking) {
     begin_gather_inc();
   } else {
@@ -238,6 +253,9 @@ fbl::IncVector RecoveryManager::build_incvector() const {
 
 void RecoveryManager::begin_gather_dep() {
   RR_CHECK(round_);
+  // The incarnation round (or, for the comparators, the registry snapshot)
+  // is complete: the incvector this round will distribute is now fixed.
+  phase(PhaseId::kIncVectorBuilt);
   round_->phase = Phase::kGatherDep;
   round_->phase_started = sim_.now();
   round_->expect_dep.clear();
@@ -276,6 +294,7 @@ void RecoveryManager::begin_gather_dep() {
 
 void RecoveryManager::finish_round() {
   RR_CHECK(round_);
+  phase(PhaseId::kDepinfoCollected);
   DepInstall install;
   install.round = round_->id;
   install.incvector = build_incvector();
@@ -290,7 +309,7 @@ void RecoveryManager::finish_round() {
   metrics_.counter("recovery.installs_sent").add();
 
   // Self-install.
-  fbl::merge_max(incvector_, install.incvector);
+  merge_floors(install.incvector);
   installed_ = true;
   round_.reset();
   hooks_.install(install);
@@ -314,7 +333,7 @@ void RecoveryManager::progress_tick() {
 }
 
 void RecoveryManager::handle_dep_request(ProcessId leader, const DepRequest& req) {
-  fbl::merge_max(incvector_, req.incvector);
+  merge_floors(req.incvector);
   if (req.block && !recovering_) {
     for (const ProcessId pid : req.recovering) blocked_on_.insert(pid);
     hooks_.set_delivery_blocked(true);
@@ -337,7 +356,7 @@ void RecoveryManager::handle_dep_request(ProcessId leader, const DepRequest& req
 }
 
 void RecoveryManager::handle_recovery_complete(ProcessId peer, const RecoveryComplete& m) {
-  fbl::raise_incarnation(incvector_, peer, m.inc);
+  raise_floor(peer, m.inc);
   if (!blocked_on_.empty()) {
     blocked_on_.erase(peer);
     if (blocked_on_.empty()) hooks_.set_delivery_blocked(false);
@@ -368,5 +387,29 @@ void RecoveryManager::on_suspicion(ProcessId peer, bool suspected) {
 void RecoveryManager::send(ProcessId to, const ControlMessage& m) { hooks_.send_ctrl(to, m); }
 
 void RecoveryManager::broadcast(const ControlMessage& m) { hooks_.broadcast_ctrl(m); }
+
+void RecoveryManager::phase(PhaseId id) {
+  if (!config_.phase_hook) return;
+  PhaseEventInfo info;
+  info.pid = self_;
+  info.phase = id;
+  info.round = round_ ? round_->id : 0;
+  info.ord = ord_;
+  info.subject = self_;
+  config_.phase_hook(info);
+}
+
+void RecoveryManager::raise_floor(ProcessId about, Incarnation inc) {
+  if (inc <= fbl::incarnation_of(incvector_, about)) {
+    fbl::raise_incarnation(incvector_, about, inc);  // materialize the entry
+    return;
+  }
+  fbl::raise_incarnation(incvector_, about, inc);
+  if (hooks_.floor_raised) hooks_.floor_raised(about, inc);
+}
+
+void RecoveryManager::merge_floors(const fbl::IncVector& from) {
+  for (const auto& [pid, inc] : from) raise_floor(pid, inc);
+}
 
 }  // namespace rr::recovery

@@ -35,6 +35,7 @@
 #include "fbl/watermarks.hpp"
 #include "metrics/registry.hpp"
 #include "recovery/messages.hpp"
+#include "recovery/phase_hook.hpp"
 #include "sim/simulator.hpp"
 
 namespace rr::recovery {
@@ -59,6 +60,14 @@ struct RecoveryConfig {
   /// A gather phase stuck longer than this restarts the round (covers
   /// targets that crashed without being detected yet).
   Duration phase_timeout = seconds(5);
+  /// Optional tap fired at named protocol phase boundaries (see
+  /// phase_hook.hpp). Must not re-enter the manager synchronously.
+  PhaseHook phase_hook;
+  /// Deliberately seeded bug for the fault-schedule explorer's
+  /// self-test: suppress every gather-restart trigger (concurrent failure,
+  /// suspicion, phase timeout), so a leader whose gather target dies hangs
+  /// forever. Never enable outside explorer/verification runs.
+  bool bug_skip_gather_restart{false};
 };
 
 class RecoveryManager {
@@ -99,6 +108,10 @@ class RecoveryManager {
     /// A peer finished recovery: retransmit what it missed, fix holder
     /// masks, nudge our replay engine.
     std::function<void(ProcessId, const RecoveryComplete&)> peer_recovered;
+
+    /// Optional: our incvector floor for `about` was raised to `inc`
+    /// (trace/V7 instrumentation; fires only on an actual increase).
+    std::function<void(ProcessId, Incarnation)> floor_raised;
   };
 
   RecoveryManager(sim::Simulator& sim, ProcessId self, ProcessId ord_service,
@@ -144,7 +157,7 @@ class RecoveryManager {
   };
 
   // Leader machinery.
-  void start_round();
+  void start_round(bool failover = false);
   void restart_round(const char* why);
   void on_rset(const std::vector<RMember>& rset);
   void begin_gather_inc();
@@ -162,6 +175,13 @@ class RecoveryManager {
 
   void send(ProcessId to, const ControlMessage& m);
   void broadcast(const ControlMessage& m);
+
+  /// Fire the configured phase hook (no-op when unset).
+  void phase(PhaseId id);
+  /// Raise incvector_[about] to `inc`, firing floor_raised on an increase.
+  void raise_floor(ProcessId about, Incarnation inc);
+  /// merge_max into incvector_ through raise_floor.
+  void merge_floors(const fbl::IncVector& from);
 
   sim::Simulator& sim_;
   ProcessId self_;

@@ -24,6 +24,19 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
   for (std::uint32_t i = 0; i < config_.num_processes; ++i) pids_.push_back(ProcessId{i});
 
   config_.recovery.algorithm = config_.algorithm;
+  // Every phase firing (nodes and ord service alike) is recorded on the
+  // trace and forwarded to the settable probe. The user's own phase_hook,
+  // if any, is chained in front.
+  auto user_hook = config_.recovery.phase_hook;
+  config_.recovery.phase_hook = [this, user_hook](const recovery::PhaseEventInfo& info) {
+    if (user_hook) user_hook(info);
+    if (trace_) {
+      trace_->record(sim_.now(), trace::PhaseEvent{info.pid, info.phase, info.round, info.ord,
+                                                   info.subject});
+    }
+    if (phase_probe_) phase_probe_(info);
+  };
+  ord_.set_phase_hook(config_.recovery.phase_hook);
   for (const ProcessId pid : pids_) {
     NodeConfig nc;
     nc.id = pid;

@@ -103,6 +103,12 @@ class Cluster {
   /// ProcessId of the never-failing ord/registry service.
   static constexpr ProcessId kOrdServiceId{999};
 
+  /// Observe protocol phase boundaries (see recovery/phase_hook.hpp) from
+  /// every node and the ord service. The probe runs in addition to trace
+  /// recording; the fault-schedule explorer uses it to place crashes at
+  /// exact protocol states. Settable any time, including before start().
+  void set_phase_probe(recovery::PhaseHook probe) { phase_probe_ = std::move(probe); }
+
  private:
   ClusterConfig config_;
   sim::Simulator sim_;
@@ -112,6 +118,7 @@ class Cluster {
   std::unique_ptr<trace::TraceLog> trace_;
   std::vector<ProcessId> pids_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  recovery::PhaseHook phase_probe_;
 };
 
 }  // namespace rr::runtime

@@ -44,7 +44,13 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
       ckpts_(storage_, config.id),
       detector_(
           sim, config.id, config.detector, [this] { send_heartbeats(); },
-          [this](ProcessId peer, bool suspected) { recovery_.on_suspicion(peer, suspected); }),
+          [this](ProcessId peer, bool suspected) {
+            if (config_.trace != nullptr) {
+              config_.trace->record(sim_.now(),
+                                    trace::SuspectEvent{config_.id, peer, suspected});
+            }
+            recovery_.on_suspicion(peer, suspected);
+          }),
       recovery_(
           sim, config.id, config.ord_service, config.recovery,
           recovery::RecoveryManager::Hooks{
@@ -77,6 +83,13 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
               .peer_recovered =
                   [this](ProcessId peer, const recovery::RecoveryComplete& m) {
                     on_peer_recovered(peer, m);
+                  },
+              .floor_raised =
+                  [this](ProcessId about, Incarnation inc) {
+                    if (config_.trace != nullptr) {
+                      config_.trace->record(sim_.now(),
+                                            trace::FloorEvent{config_.id, about, inc});
+                    }
                   },
           },
           metrics),
@@ -525,7 +538,7 @@ void Node::try_deliver_app(ProcessId src, const fbl::AppFrame& frame) {
       metrics_.counter("fbl.dets_learned").add(res.dets_learned);
       if (config_.trace != nullptr) {
         config_.trace->record(sim_.now(), trace::DeliverEvent{config_.id, src, frame.ssn,
-                                                              res.rsn, inc_, false});
+                                                              res.rsn, inc_, false, frame.inc});
       }
       snapshot_.observe_delivery(src);
       app_->on_message(*ctx_, src, frame.payload);
@@ -559,7 +572,7 @@ void Node::drain_held(ProcessId src) {
       metrics_.counter("app.delivered").add();
       if (config_.trace != nullptr) {
         config_.trace->record(sim_.now(), trace::DeliverEvent{config_.id, src, frame.ssn,
-                                                              res.rsn, inc_, false});
+                                                              res.rsn, inc_, false, frame.inc});
       }
       snapshot_.observe_delivery(src);
       app_->on_message(*ctx_, src, frame.payload);
@@ -671,6 +684,15 @@ void Node::on_install(const recovery::DepInstall& install) {
   if (needs_onstart_replay_) {
     needs_onstart_replay_ = false;
     app_->on_start(*ctx_);
+  }
+  if (config_.recovery.phase_hook && !replay_.installed()) {
+    recovery::PhaseEventInfo info;
+    info.pid = config_.id;
+    info.phase = recovery::PhaseId::kReplayStarted;
+    info.round = install.round;
+    info.ord = recovery_.ord();
+    info.subject = config_.id;
+    config_.recovery.phase_hook(info);
   }
   // Schedule = own receipts known post-merge; payload sources resolve via
   // ReplayRequest (live or restored senders answer; recovering senders'

@@ -70,7 +70,8 @@ struct Checker {
         if (tl.executions.empty()) tl.executions.push_back(Execution{});
         tl.executions.back().events.push_back(&ev);
       }
-      // CompleteEvent carries no history content the checks below need.
+      // CompleteEvent / PhaseEvent / SuspectEvent / FloorEvent feed the
+      // dedicated V7/V8 passes below, not the timeline reconstruction.
     }
     for (const auto& [pid, tl] : timelines) result.executions += tl.executions.size();
   }
@@ -214,6 +215,90 @@ struct Checker {
       }
     }
   }
+
+  /// V7: stale rejection. Replays the per-process incvector floors
+  /// (FloorEvent) and flags any fresh delivery whose sender-incarnation
+  /// stamp lies below the destination's floor for that sender at delivery
+  /// time. Floors are volatile state, so a crash resets the destination's
+  /// knowledge; replayed deliveries carry no stamp (src_inc == 0) and are
+  /// covered by V4 instead.
+  void check_stale_rejection() {
+    std::map<ProcessId, std::map<ProcessId, Incarnation>> floor;  // dst -> src -> floor
+    for (const auto& ev : log.events()) {
+      if (const auto* f = std::get_if<FloorEvent>(&ev.event)) {
+        auto& fl = floor[f->pid][f->about];
+        fl = std::max(fl, f->inc);
+      } else if (const auto* c = std::get_if<CrashEvent>(&ev.event)) {
+        floor.erase(c->pid);
+      } else if (const auto* d = std::get_if<DeliverEvent>(&ev.event)) {
+        if (d->replayed || d->src_inc == 0) continue;
+        const auto dst_it = floor.find(d->dst);
+        if (dst_it == floor.end()) continue;
+        const auto src_it = dst_it->second.find(d->src);
+        if (src_it != dst_it->second.end() && d->src_inc < src_it->second) {
+          violate("V7: pre-incvector incarnation delivered (floor " +
+                  std::to_string(src_it->second) + "): " + to_string(ev));
+        }
+      }
+    }
+  }
+
+  /// V8: leader-ordinal monotonicity. Recovery leadership must follow the
+  /// ord service's assignment order: a process may lead at ordinal o only
+  /// while its own registration at o is live, and only if every live
+  /// lower-ordinal registration is excused — its owner crashed again after
+  /// registering (the paper's next-ordinal failover) or is currently
+  /// suspected by the would-be leader.
+  void check_leader_ordinals() {
+    struct Reg {
+      std::uint64_t ord{0};
+      bool retired{false};
+      bool crashed_since{false};  ///< owner crashed after this registration
+    };
+    std::map<ProcessId, Reg> reg;                      // latest registration
+    std::map<ProcessId, std::set<ProcessId>> suspects; // observer -> peers
+    for (const auto& ev : log.events()) {
+      if (const auto* p = std::get_if<PhaseEvent>(&ev.event)) {
+        switch (p->phase) {
+          case recovery::PhaseId::kOrdAssigned:
+            reg[p->subject] = Reg{p->ord, false, false};
+            break;
+          case recovery::PhaseId::kOrdRetired: {
+            const auto it = reg.find(p->subject);
+            if (it != reg.end() && it->second.ord == p->ord) it->second.retired = true;
+            break;
+          }
+          case recovery::PhaseId::kLeaderElected:
+          case recovery::PhaseId::kLeaderFailover: {
+            const auto self = reg.find(p->pid);
+            if (self == reg.end() || self->second.retired || self->second.ord != p->ord) {
+              violate("V8: leader without a live ordinal registration: " + to_string(ev));
+              break;
+            }
+            for (const auto& [q, r] : reg) {
+              if (q == p->pid || r.retired || r.ord >= p->ord) continue;
+              if (r.crashed_since || suspects[p->pid].contains(q)) continue;
+              violate("V8: leadership skipped live lower ordinal " + std::to_string(r.ord) +
+                      " (" + rr::to_string(q) + "): " + to_string(ev));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      } else if (const auto* s = std::get_if<SuspectEvent>(&ev.event)) {
+        if (s->suspected) {
+          suspects[s->observer].insert(s->peer);
+        } else {
+          suspects[s->observer].erase(s->peer);
+        }
+      } else if (const auto* c = std::get_if<CrashEvent>(&ev.event)) {
+        const auto it = reg.find(c->pid);
+        if (it != reg.end()) it->second.crashed_since = true;
+        suspects.erase(c->pid);  // detector state is volatile
+      }
+    }
+  }
 };
 
 }  // namespace
@@ -234,6 +319,8 @@ CheckResult check_history(const TraceLog& log, std::size_t max_violations) {
   checker.check_send_before_deliver();
   checker.check_execution_ordering();
   checker.check_surviving_history();
+  checker.check_stale_rejection();
+  checker.check_leader_ordinals();
   return std::move(checker.result);
 }
 

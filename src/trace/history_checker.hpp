@@ -16,7 +16,15 @@
 //      final surviving execution — i.e. no surviving state depends on a
 //      message the rest of the system can no longer account for;
 //  V6  lifecycle sanity: incarnations increase by one per restore, crash /
-//      restore events alternate.
+//      restore events alternate;
+//  V7  stale rejection: no process delivers a fresh message stamped with a
+//      sender incarnation below its own incvector floor for that sender
+//      (floors replayed from FloorEvents; the closing of the paper's
+//      stale-message hazard);
+//  V8  leader-ordinal monotonicity: recovery leadership follows the ord
+//      service's assignment order — a leader steps over a lower ordinal
+//      only when that registration's owner crashed again after registering
+//      (next-ordinal failover) or is suspected by the leader.
 //
 // Rollbacks — fresh deliveries replacing a dead execution's suffix at the
 // same receipt orders — are legal exactly when the replaced suffix was

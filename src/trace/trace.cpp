@@ -16,10 +16,10 @@ struct Formatter {
                   e.transmitted ? "" : " (suppressed)");
   }
   void operator()(const DeliverEvent& e) const {
-    std::snprintf(buf, n, "deliver  %s <- %s ssn=%llu rsn=%llu inc=%u%s",
+    std::snprintf(buf, n, "deliver  %s <- %s ssn=%llu rsn=%llu inc=%u src_inc=%u%s",
                   rr::to_string(e.dst).c_str(), rr::to_string(e.src).c_str(),
                   static_cast<unsigned long long>(e.ssn),
-                  static_cast<unsigned long long>(e.rsn), e.dst_inc,
+                  static_cast<unsigned long long>(e.rsn), e.dst_inc, e.src_inc,
                   e.replayed ? " (replayed)" : "");
   }
   void operator()(const CrashEvent& e) const {
@@ -37,6 +37,20 @@ struct Formatter {
   void operator()(const CheckpointEvent& e) const {
     std::snprintf(buf, n, "ckpt     %s rsn=%llu", rr::to_string(e.pid).c_str(),
                   static_cast<unsigned long long>(e.rsn));
+  }
+  void operator()(const PhaseEvent& e) const {
+    std::snprintf(buf, n, "phase    %s %s round=%llu ord=%llu subject=%s",
+                  rr::to_string(e.pid).c_str(), recovery::to_string(e.phase),
+                  static_cast<unsigned long long>(e.round),
+                  static_cast<unsigned long long>(e.ord), rr::to_string(e.subject).c_str());
+  }
+  void operator()(const SuspectEvent& e) const {
+    std::snprintf(buf, n, "suspect  %s %s %s", rr::to_string(e.observer).c_str(),
+                  e.suspected ? "suspects" : "clears", rr::to_string(e.peer).c_str());
+  }
+  void operator()(const FloorEvent& e) const {
+    std::snprintf(buf, n, "floor    %s raises floor[%s]=%u", rr::to_string(e.pid).c_str(),
+                  rr::to_string(e.about).c_str(), e.inc);
   }
 };
 

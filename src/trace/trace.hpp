@@ -19,6 +19,7 @@
 
 #include "common/time.hpp"
 #include "common/types.hpp"
+#include "recovery/phase_hook.hpp"
 
 namespace rr::trace {
 
@@ -37,6 +38,10 @@ struct DeliverEvent {
   Rsn rsn{0};
   Incarnation dst_inc{0};
   bool replayed{false};
+  /// Sender incarnation stamped on the frame (stale-rejection tag). 0 for
+  /// replayed deliveries: determinants do not record it, and the stale
+  /// check (V7) applies to fresh wire traffic only.
+  Incarnation src_inc{0};
 };
 
 struct CrashEvent {
@@ -61,9 +66,36 @@ struct CheckpointEvent {
   Rsn rsn{0};
 };
 
+/// A named protocol phase boundary fired by the recovery state machine or
+/// the ord service (see recovery/phase_hook.hpp). Input to V8.
+struct PhaseEvent {
+  ProcessId pid;  ///< firing process (ord service for assignment events)
+  recovery::PhaseId phase{recovery::PhaseId::kLeaderElected};
+  std::uint64_t round{0};
+  recovery::Ord ord{0};
+  ProcessId subject;  ///< who the event is about (== pid unless ord svc)
+};
+
+/// A failure-detector suspicion edge at `observer`. Input to V8 (a leader
+/// may step over a lower ordinal only if it suspects that process).
+struct SuspectEvent {
+  ProcessId observer;
+  ProcessId peer;
+  bool suspected{true};
+};
+
+/// `pid`'s incvector floor for `about` rose to `inc`. Input to V7: any
+/// later fresh delivery at `pid` from `about` stamped below the floor is a
+/// stale-rejection failure.
+struct FloorEvent {
+  ProcessId pid;
+  ProcessId about;
+  Incarnation inc{0};
+};
+
 using Event =
     std::variant<SendEvent, DeliverEvent, CrashEvent, RestoreEvent, CompleteEvent,
-                 CheckpointEvent>;
+                 CheckpointEvent, PhaseEvent, SuspectEvent, FloorEvent>;
 
 struct TimedEvent {
   Time at{0};

@@ -157,6 +157,73 @@ TEST_P(EngineGrid, CheckpointRestoreIsLossless) {
   }
 }
 
+TEST_P(EngineGrid, IncvectorStaleRejectionIsExactPerProcess) {
+  const auto p = GetParam();
+  EngineMesh mesh(p.n, p.f);
+  Rng rng(p.seed * 71 + 3);
+  for (int msg = 0; msg < 300; ++msg) {
+    const auto a = static_cast<std::uint32_t>(rng.bounded(p.n));
+    auto b = static_cast<std::uint32_t>(rng.bounded(p.n - 1));
+    if (b >= a) ++b;
+    mesh.relay(a, b);
+  }
+
+  // One in-flight frame per process, stamped with the current (first)
+  // incarnation but not yet delivered — the stale straggler population.
+  struct InFlight {
+    std::uint32_t from, to;
+    Bytes bytes;
+  };
+  std::vector<InFlight> in_flight;
+  for (std::uint32_t a = 0; a < p.n; ++a) {
+    const std::uint32_t b = (a + 1) % p.n;
+    in_flight.push_back({a, b, mesh.at(a).make_frame(ProcessId{b}, Bytes(8), 1).frame});
+  }
+
+  // A subset of processes "recovers": their incvector floor rises to 2.
+  // (At least one process stays at the old incarnation.)
+  IncVector incs;
+  std::vector<bool> recovered(p.n, false);
+  const std::uint32_t victims = std::min(p.f, p.n - 1);
+  for (std::uint32_t i = 0; i < victims; ++i) {
+    const auto v = static_cast<std::uint32_t>((p.seed + i) % p.n);
+    recovered[v] = true;
+    raise_incarnation(incs, ProcessId{v}, 2);
+  }
+
+  // Rejection is exact per process: every pre-raise frame from a recovered
+  // sender is kStale at its destination; frames from senders whose floor
+  // did not move still deliver.
+  for (const InFlight& msg : in_flight) {
+    BufReader r(msg.bytes);
+    ASSERT_EQ(decode_kind(r), FrameKind::kApp);
+    const auto res = mesh.at(msg.to).accept(ProcessId{msg.from}, AppFrame::decode(r), incs);
+    if (recovered[msg.from]) {
+      EXPECT_EQ(res.verdict, LoggingEngine::Verdict::kStale)
+          << "pre-raise frame p" << msg.from << " -> p" << msg.to << " leaked through";
+    } else {
+      EXPECT_EQ(res.verdict, LoggingEngine::Verdict::kDeliver)
+          << "live sender p" << msg.from << " rejected by an unrelated floor raise";
+    }
+  }
+
+  // Post-recovery frames stamped with the new incarnation pass the raised
+  // floor (on a channel whose in-flight straggler was not consumed above,
+  // so the ssn chain is intact; needs a third process to exist).
+  if (p.n >= 3) {
+    for (std::uint32_t v = 0; v < p.n; ++v) {
+      if (!recovered[v]) continue;
+      const std::uint32_t b = (v + 2) % p.n;
+      Bytes fresh = mesh.at(v).make_frame(ProcessId{b}, Bytes(8), 2).frame;
+      BufReader r(fresh);
+      ASSERT_EQ(decode_kind(r), FrameKind::kApp);
+      const auto res = mesh.at(b).accept(ProcessId{v}, AppFrame::decode(r), incs);
+      EXPECT_EQ(res.verdict, LoggingEngine::Verdict::kDeliver)
+          << "post-recovery frame from p" << v << " at incarnation 2 rejected";
+    }
+  }
+}
+
 std::vector<GridParam> grid() {
   std::vector<GridParam> out;
   for (const std::uint64_t seed : {1ull, 2ull}) {

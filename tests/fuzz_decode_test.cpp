@@ -42,6 +42,64 @@ void poke_all_decoders(const Bytes& bytes) {
   }
 }
 
+/// A genuinely valid encoding of every one of the 14 control-message
+/// kinds, so mutation and truncation sweeps exercise each codec.
+std::vector<Bytes> control_seeds() {
+  using namespace recovery;
+  std::vector<Bytes> out;
+  const std::vector<RMember> rset = {{ProcessId{1}, 7, 2}, {ProcessId{3}, 9, 1}};
+  const std::vector<fbl::HeldDeterminant> dets = {
+      {fbl::Determinant{ProcessId{0}, 1, ProcessId{1}, 1}, 0x3},
+      {fbl::Determinant{ProcessId{2}, 5, ProcessId{3}, 8}, 0x7}};
+
+  out.push_back(encode_control(OrdRequest{2}));
+  OrdReply ord_reply;
+  ord_reply.ord = 7;
+  ord_reply.rset = rset;
+  out.push_back(encode_control(ord_reply));
+  out.push_back(encode_control(RSetRequest{}));
+  RSetReply rset_reply;
+  rset_reply.rset = rset;
+  out.push_back(encode_control(rset_reply));
+  out.push_back(encode_control(IncRequest{4}));
+  out.push_back(encode_control(IncReply{4, 3}));
+  DepRequest dep_request;
+  dep_request.round = 5;
+  dep_request.block = true;
+  dep_request.incvector[ProcessId{1}] = 2;
+  dep_request.recovering = {ProcessId{1}, ProcessId{2}};
+  out.push_back(encode_control(dep_request));
+  DepReply dep_reply;
+  dep_reply.round = 5;
+  dep_reply.dets = dets;
+  dep_reply.marks_for_r[ProcessId{1}] = 11;
+  out.push_back(encode_control(dep_reply));
+  DepInstall install;
+  install.round = 5;
+  install.incvector[ProcessId{1}] = 2;
+  install.dets = dets;
+  install.live_marks[ProcessId{2}][ProcessId{1}] = 6;
+  out.push_back(encode_control(install));
+  RecoveryComplete complete;
+  complete.inc = 2;
+  complete.recv_marks[ProcessId{0}] = 3;
+  complete.rsn = 17;
+  out.push_back(encode_control(complete));
+  ReplayRequest replay_request;
+  replay_request.ssns = {3, 4, 9};
+  out.push_back(encode_control(replay_request));
+  ReplayData replay_data;
+  replay_data.items.push_back({1, to_bytes("x")});
+  replay_data.items.push_back({2, to_bytes("yz")});
+  out.push_back(encode_control(replay_data));
+  DetPush push;
+  push.seq = 8;
+  push.dets = dets;
+  out.push_back(encode_control(push));
+  out.push_back(encode_control(DetAck{8}));
+  return out;
+}
+
 class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DecoderFuzz, RandomBytesNeverCrashDecoders) {
@@ -69,14 +127,8 @@ TEST_P(DecoderFuzz, MutatedValidFramesNeverCrashDecoders) {
   notice.rsn = 9;
   notice.recv_marks[ProcessId{0}] = 4;
   seeds.push_back(notice.encode());
-  recovery::DepInstall install;
-  install.round = 3;
-  install.dets.push_back({fbl::Determinant{ProcessId{0}, 1, ProcessId{1}, 1}, 0x3});
-  install.live_marks[ProcessId{2}][ProcessId{1}] = 6;
-  seeds.push_back(recovery::encode_control(install));
-  recovery::ReplayData data;
-  data.items.push_back({1, to_bytes("x")});
-  seeds.push_back(recovery::encode_control(data));
+  // ...plus every recovery control-message kind.
+  for (Bytes& ctrl : control_seeds()) seeds.push_back(std::move(ctrl));
 
   for (int round = 0; round < 400; ++round) {
     Bytes bytes = seeds[rng.bounded(seeds.size())];
@@ -99,6 +151,92 @@ TEST_P(DecoderFuzz, MutatedValidFramesNeverCrashDecoders) {
     }
     poke_all_decoders(bytes);
   }
+}
+
+TEST_P(DecoderFuzz, BitFlippedControlMessagesNeverCrashDecoders) {
+  Rng rng(GetParam() * 101 + 13);
+  const std::vector<Bytes> seeds = control_seeds();
+  for (int round = 0; round < 600; ++round) {
+    Bytes bytes = seeds[rng.bounded(seeds.size())];
+    const auto flips = 1 + rng.bounded(8);
+    for (std::uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+      const auto pos = rng.bounded(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.bounded(8));
+    }
+    poke_all_decoders(bytes);
+  }
+}
+
+// Every strict prefix of every valid control message must decode cleanly
+// or throw SerdeError — never crash or read past the buffer.
+TEST(DecoderHardening, TruncatedControlMessagesAreRejectedCleanly) {
+  for (const Bytes& full : control_seeds()) {
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      poke_all_decoders(Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len)));
+    }
+  }
+}
+
+// Buffers whose element counts claim more than the bytes remaining could
+// ever hold must throw SerdeError *before* any reservation: a length-lying
+// packet is malformed input, not a request to allocate gigabytes.
+TEST(DecoderHardening, LengthLyingCountsAreRejectedNotAllocated) {
+  const std::uint64_t kHugeCount = std::uint64_t{1} << 40;
+  auto control = [&](auto&& fill) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(fbl::FrameKind::kControl));
+    fill(w);
+    return std::move(w).take();
+  };
+
+  std::vector<Bytes> liars;
+  // RSetReply (tag 4): huge member count, no members.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(4);
+    w.varint(kHugeCount);
+  }));
+  // DepRequest (tag 7): valid header + empty incvector, huge recovering list.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(7);
+    w.u64(1);
+    w.boolean(false);
+    w.boolean(false);
+    w.varint(0);  // empty incvector
+    w.varint(kHugeCount);
+  }));
+  // ReplayRequest (tag 11): huge ssn count.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(11);
+    w.varint(kHugeCount);
+  }));
+  // ReplayData (tag 12): huge item count.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(12);
+    w.varint(kHugeCount);
+  }));
+  // DetPush (tag 13): huge determinant count.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(13);
+    w.u64(1);
+    w.varint(kHugeCount);
+  }));
+
+  for (const Bytes& bytes : liars) {
+    BufReader r(bytes);
+    ASSERT_EQ(fbl::decode_kind(r), fbl::FrameKind::kControl);
+    EXPECT_THROW((void)recovery::decode_control(r), SerdeError);
+  }
+
+  // AppFrame piggyback list lies about its determinant count.
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(fbl::FrameKind::kApp));
+  w.u32(1);   // inc
+  w.u64(5);   // ssn
+  w.varint(kHugeCount);
+  const Bytes app = std::move(w).take();
+  BufReader r(app);
+  ASSERT_EQ(fbl::decode_kind(r), fbl::FrameKind::kApp);
+  EXPECT_THROW((void)fbl::AppFrame::decode(r), SerdeError);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),

@@ -15,15 +15,7 @@ using harness::ScenarioConfig;
 using recovery::Algorithm;
 using test::fast_cluster;
 
-ScenarioConfig base_scenario(Algorithm alg, std::uint32_t n = 4, std::uint32_t f = 2,
-                             std::uint64_t seed = 1) {
-  ScenarioConfig sc;
-  sc.cluster = fast_cluster(n, f, alg, seed);
-  sc.factory = test::gossip_factory();
-  sc.horizon = seconds(8);
-  sc.idle_deadline = seconds(60);
-  return sc;
-}
+using test::base_scenario;
 
 TEST(Recovery, SingleFailureCompletesAndReplays) {
   auto sc = base_scenario(Algorithm::kNonBlocking);

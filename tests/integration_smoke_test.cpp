@@ -6,25 +6,22 @@
 
 #include "app/workloads.hpp"
 #include "runtime/cluster.hpp"
+#include "test_util.hpp"
 
 namespace rr {
 namespace {
 
-using app::GossipApp;
 using app::GossipConfig;
 using app::RingConfig;
-using app::RingTokenApp;
 using recovery::Algorithm;
 using runtime::Cluster;
 using runtime::ClusterConfig;
 
-app::AppFactory ring_factory(RingConfig cfg = {}) {
-  return [cfg](ProcessId) { return std::make_unique<RingTokenApp>(cfg); };
-}
+// Exact-config factories shared with the rest of the suite; the default
+// GossipConfig/RingConfig here reproduces the original smoke workloads.
+app::AppFactory ring_factory(RingConfig cfg = {}) { return test::ring_factory(cfg); }
 
-app::AppFactory gossip_factory(GossipConfig cfg = {}) {
-  return [cfg](ProcessId) { return std::make_unique<GossipApp>(cfg); };
-}
+app::AppFactory gossip_factory(GossipConfig cfg = {}) { return test::gossip_factory(cfg); }
 
 TEST(SmokeTest, FailureFreeRingRuns) {
   ClusterConfig cfg;

@@ -47,6 +47,12 @@ inline app::AppFactory gossip_factory(std::uint32_t tokens_per_process = 1,
   };
 }
 
+/// Exact-config overload: every process gets a copy of `cfg` verbatim
+/// (no per-pid seed derivation).
+inline app::AppFactory gossip_factory(app::GossipConfig cfg) {
+  return [cfg](ProcessId) { return std::make_unique<app::GossipApp>(cfg); };
+}
+
 inline app::AppFactory ring_factory(std::uint32_t tokens = 2) {
   return [=](ProcessId) {
     app::RingConfig cfg;
@@ -56,6 +62,11 @@ inline app::AppFactory ring_factory(std::uint32_t tokens = 2) {
   };
 }
 
+/// Exact-config overload, mirroring gossip_factory(GossipConfig).
+inline app::AppFactory ring_factory(app::RingConfig cfg) {
+  return [cfg](ProcessId) { return std::make_unique<app::RingTokenApp>(cfg); };
+}
+
 inline app::AppFactory bank_factory(std::uint32_t tokens = 1, std::uint32_t ttl = 2000) {
   return [=](ProcessId) {
     app::BankConfig cfg;
@@ -63,6 +74,18 @@ inline app::AppFactory bank_factory(std::uint32_t tokens = 1, std::uint32_t ttl 
     cfg.ttl = ttl;
     return std::make_unique<app::BankApp>(cfg);
   };
+}
+
+/// The canonical crash-recovery scenario skeleton: fast cluster, gossip
+/// workload, 8 s horizon. Tests add crashes and tweak fields from here.
+inline harness::ScenarioConfig base_scenario(recovery::Algorithm alg, std::uint32_t n = 4,
+                                             std::uint32_t f = 2, std::uint64_t seed = 1) {
+  harness::ScenarioConfig sc;
+  sc.cluster = fast_cluster(n, f, alg, seed);
+  sc.factory = gossip_factory();
+  sc.horizon = seconds(8);
+  sc.idle_deadline = seconds(60);
+  return sc;
 }
 
 /// Run a fast-cluster scenario until idle (or the deadline).

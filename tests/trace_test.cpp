@@ -25,8 +25,9 @@ struct SyntheticTrace {
     return *this;
   }
   SyntheticTrace& deliver(ProcessId dst, ProcessId src, Ssn ssn, Rsn rsn,
-                          Incarnation inc = 1, bool replayed = false) {
-    log.record(++t, DeliverEvent{dst, src, ssn, rsn, inc, replayed});
+                          Incarnation inc = 1, bool replayed = false,
+                          Incarnation src_inc = 0) {
+    log.record(++t, DeliverEvent{dst, src, ssn, rsn, inc, replayed, src_inc});
     return *this;
   }
   SyntheticTrace& crash(ProcessId pid, Incarnation inc) {
@@ -41,7 +42,27 @@ struct SyntheticTrace {
     log.record(++t, CheckpointEvent{pid, rsn});
     return *this;
   }
+  SyntheticTrace& floor(ProcessId pid, ProcessId about, Incarnation inc) {
+    log.record(++t, FloorEvent{pid, about, inc});
+    return *this;
+  }
+  SyntheticTrace& suspect(ProcessId observer, ProcessId peer, bool suspected = true) {
+    log.record(++t, SuspectEvent{observer, peer, suspected});
+    return *this;
+  }
+  SyntheticTrace& phase(ProcessId pid, recovery::PhaseId id, recovery::Ord ord,
+                        ProcessId subject, std::uint64_t round = 1) {
+    log.record(++t, PhaseEvent{pid, id, round, ord, subject});
+    return *this;
+  }
 };
+
+bool mentions(const CheckResult& r, const char* tag) {
+  for (const auto& v : r.violations) {
+    if (v.find(tag) != std::string::npos) return true;
+  }
+  return false;
+}
 
 TEST(HistoryChecker, EmptyTraceIsOk) {
   TraceLog log;
@@ -188,12 +209,150 @@ TEST(HistoryChecker, DetectsNonMonotonicIncarnation) {
   EXPECT_FALSE(r.ok);
 }
 
+// --- V7: incvector stale rejection ------------------------------------------
+
+TEST(HistoryChecker, DetectsFreshDeliveryBelowIncvectorFloor) {
+  SyntheticTrace t;
+  t.send(kA, kB, 1);
+  t.floor(kB, kA, 2);  // B learned (via DepInstall) that A restarted at inc 2
+  t.deliver(kB, kA, 1, 1, 1, /*replayed=*/false, /*src_inc=*/1);  // stale straggler
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V7")) << r.summary();
+}
+
+TEST(HistoryChecker, DeliveryAtTheFloorIncarnationPasses) {
+  SyntheticTrace t;
+  t.floor(kB, kA, 2);
+  t.send(kA, kB, 1, 2);
+  t.deliver(kB, kA, 1, 1, 1, /*replayed=*/false, /*src_inc=*/2);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(HistoryChecker, ReplayedDeliveriesAreExemptFromTheFloor) {
+  // Replay re-consumes pre-recovery frames by construction; V7 only guards
+  // fresh wire traffic.
+  SyntheticTrace t;
+  t.ckpt(kB, 0);
+  t.send(kA, kB, 1);
+  t.deliver(kB, kA, 1, 1);
+  t.crash(kB, 1).restore(kB, 2, 0);
+  t.floor(kB, kA, 5);
+  t.deliver(kB, kA, 1, 1, 2, /*replayed=*/true, /*src_inc=*/1);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(HistoryChecker, CrashResetsTheVolatileFloor) {
+  // Floors live in volatile memory: after B itself crashes, its old floor
+  // for A is gone until recovery re-installs one.
+  SyntheticTrace t;
+  t.ckpt(kB, 0);
+  t.floor(kB, kA, 2);
+  t.crash(kB, 1).restore(kB, 2, 0);
+  t.send(kA, kB, 1);
+  t.deliver(kB, kA, 1, 1, 2, /*replayed=*/false, /*src_inc=*/1);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+// --- V8: leader-ordinal monotonicity ----------------------------------------
+
+constexpr ProcessId kSvc{9};  // the ord service's host in these traces
+
+TEST(HistoryChecker, DetectsLeaderWithoutOrdinalRegistration) {
+  SyntheticTrace t;
+  t.phase(kA, recovery::PhaseId::kLeaderElected, 1, kA);
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V8")) << r.summary();
+}
+
+TEST(HistoryChecker, DetectsLeaderAtMismatchedOrdinal) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kA, recovery::PhaseId::kLeaderElected, 5, kA);  // claims ord 5, holds 1
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V8")) << r.summary();
+}
+
+TEST(HistoryChecker, DetectsLeadershipSkippingLiveLowerOrdinal) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 2, kB);
+  t.phase(kB, recovery::PhaseId::kLeaderElected, 2, kB);  // A (ord 1) is alive
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V8")) << r.summary();
+}
+
+TEST(HistoryChecker, FailoverOverACrashedLowerOrdinalPasses) {
+  // The paper's next-ordinal failover: A registered at ord 1, then crashed
+  // again; B may take over at ord 2.
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.crash(kA, 1);
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 2, kB);
+  t.phase(kB, recovery::PhaseId::kLeaderFailover, 2, kB);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(HistoryChecker, SuspectedLowerOrdinalExcusesFailover) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 2, kB);
+  t.suspect(kB, kA);
+  t.phase(kB, recovery::PhaseId::kLeaderFailover, 2, kB);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(HistoryChecker, RetractedSuspicionRevokesTheFailoverExcuse) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 2, kB);
+  t.suspect(kB, kA);
+  t.suspect(kB, kA, /*suspected=*/false);  // detector changed its mind
+  t.phase(kB, recovery::PhaseId::kLeaderFailover, 2, kB);
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V8")) << r.summary();
+}
+
+TEST(HistoryChecker, RetiredOrdinalNoLongerConstrainsLeadership) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kA, recovery::PhaseId::kLeaderElected, 1, kA);  // legitimate reign
+  t.phase(kSvc, recovery::PhaseId::kOrdRetired, 1, kA);   // RecoveryComplete
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 2, kB);
+  t.phase(kB, recovery::PhaseId::kLeaderElected, 2, kB);
+  const auto r = check_history(t.log);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(HistoryChecker, DetectsLeadershipOnARetiredRegistration) {
+  SyntheticTrace t;
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.phase(kSvc, recovery::PhaseId::kOrdRetired, 1, kA);
+  t.phase(kA, recovery::PhaseId::kLeaderElected, 1, kA);  // reign after release
+  const auto r = check_history(t.log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(mentions(r, "V8")) << r.summary();
+}
+
 TEST(TraceLogTest, DumpRendersEveryKind) {
   SyntheticTrace t;
   t.send(kA, kB, 1).deliver(kB, kA, 1, 1).crash(kA, 1).restore(kA, 2, 0).ckpt(kB, 1);
   t.log.record(99, CompleteEvent{kA, 2, 5});
+  t.phase(kSvc, recovery::PhaseId::kOrdAssigned, 1, kA);
+  t.suspect(kB, kA);
+  t.floor(kB, kA, 2);
   const std::string dump = t.log.dump();
-  for (const char* token : {"send", "deliver", "crash", "restore", "ckpt", "complete"}) {
+  for (const char* token :
+       {"send", "deliver", "crash", "restore", "ckpt", "complete", "phase", "suspect", "floor"}) {
     EXPECT_NE(dump.find(token), std::string::npos) << token;
   }
   EXPECT_EQ(t.log.dump(2).find("more events") != std::string::npos, true);

@@ -1,0 +1,199 @@
+// rrcheck — deterministic fault-schedule explorer for the FBL recovery
+// protocol.
+//
+// Drives the simulator through a seeded matrix of fault schedules (timed
+// crashes, crashes pinned to protocol phase boundaries, packet drops,
+// delays and stale stragglers), then feeds every run's structured trace
+// through the history checker's proof-derived oracles V1–V8. On a failure
+// the schedule is shrunk to a minimal repro and printed as a single
+// `--replay` line that re-executes the run bit-identically.
+//
+// Examples:
+//   rrcheck --smoke                 bounded 64-schedule sweep (tier-1 CI)
+//   rrcheck --sweep                 the full matrix (>= 1000 schedules)
+//   rrcheck --seed-bug              arm the seeded skip-gather-restart bug;
+//                                   succeeds iff it is caught and shrunk
+//   rrcheck --replay seed=7,n=4,f=2,alg=nonblocking,schedule=crash:1@2000000000
+//   rrcheck --list --max-runs 20    print schedules without running them
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/explorer.hpp"
+#include "common/log.hpp"
+
+using namespace rr;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "rrcheck — deterministic fault-schedule explorer\n\n"
+      "  --smoke              bounded sweep (64 schedules; CI tier-1 target)\n"
+      "  --sweep              full schedule matrix (>= 1000 runs)\n"
+      "  --seed-bug           arm the seeded skip-gather-restart protocol bug;\n"
+      "                       exit 0 iff the explorer catches and shrinks it\n"
+      "  --replay LINE        re-execute one schedule (the format printed on\n"
+      "                       failure); exit 0 iff the run passes V1-V8\n"
+      "  --list               print the matrix schedules without running\n"
+      "  --seeds N            seeds per grid cell (default 32)\n"
+      "  --max-runs N         truncate the matrix to N schedules\n"
+      "  --keep-going         do not stop at the first failure\n"
+      "  --verbose            one line per run\n"
+      "  --debug              protocol debug logging (use with --replay)\n"
+      "  --help               this text\n");
+  std::exit(code);
+}
+
+struct Options {
+  enum class Mode { kSmoke, kSweep, kSeedBug, kReplay, kList } mode{Mode::kSmoke};
+  std::string replay_line;
+  std::uint64_t seeds = 32;
+  std::uint64_t max_runs = 0;
+  bool keep_going = false;
+  bool verbose = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  bool mode_set = false;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--smoke") {
+      opt.mode = Options::Mode::kSmoke;
+      mode_set = true;
+    } else if (arg == "--sweep") {
+      opt.mode = Options::Mode::kSweep;
+      mode_set = true;
+    } else if (arg == "--seed-bug") {
+      opt.mode = Options::Mode::kSeedBug;
+      mode_set = true;
+    } else if (arg == "--replay") {
+      opt.mode = Options::Mode::kReplay;
+      opt.replay_line = need_value(i);
+      mode_set = true;
+    } else if (arg == "--list") {
+      opt.mode = Options::Mode::kList;
+      mode_set = true;
+    } else if (arg == "--seeds") {
+      opt.seeds = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--max-runs") {
+      opt.max_runs = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--keep-going") {
+      opt.keep_going = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--debug") {
+      logging::set_level(LogLevel::kDebug);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (!mode_set) usage(2);
+  return opt;
+}
+
+int run_replay(const Options& opt) {
+  check::FaultSchedule schedule;
+  if (!check::FaultSchedule::parse(opt.replay_line, schedule)) {
+    std::fprintf(stderr, "rrcheck: cannot parse replay line: %s\n",
+                 opt.replay_line.c_str());
+    return 2;
+  }
+  std::printf("replaying %s\n", schedule.format().c_str());
+  const check::RunOutcome outcome = check::ScheduleExplorer::run(schedule);
+  std::printf("  terminated=%s  recoveries=%llu  gather_restarts=%llu  "
+              "phase_events=%llu  injections=%llu  state_hash=%016llx\n",
+              outcome.terminated ? "yes" : "NO",
+              static_cast<unsigned long long>(outcome.recoveries),
+              static_cast<unsigned long long>(outcome.gather_restarts),
+              static_cast<unsigned long long>(outcome.phase_events),
+              static_cast<unsigned long long>(outcome.injections_applied),
+              static_cast<unsigned long long>(outcome.state_hash));
+  std::printf("  phases:");
+  for (std::size_t i = 0; i < outcome.phase_count.size(); ++i) {
+    if (outcome.phase_count[i] == 0) continue;
+    std::printf(" %s=%u", recovery::to_string(static_cast<recovery::PhaseId>(i)),
+                outcome.phase_count[i]);
+  }
+  std::printf("\n");
+  std::printf("  checker: %s\n", outcome.check.summary().c_str());
+  for (const std::string& v : outcome.check.violations) {
+    std::printf("  violation: %s\n", v.c_str());
+  }
+  std::printf("%s\n", outcome.ok() ? "PASS" : "FAIL");
+  return outcome.ok() ? 0 : 1;
+}
+
+int run_explore(const Options& opt) {
+  check::ExploreOptions eo;
+  eo.seeds_per_cell = opt.seeds;
+  eo.max_runs = opt.max_runs;
+  eo.stop_on_failure = !opt.keep_going;
+  eo.seed_bug = opt.mode == Options::Mode::kSeedBug;
+  if (opt.mode == Options::Mode::kSmoke && eo.max_runs == 0) eo.max_runs = 64;
+
+  if (opt.mode == Options::Mode::kList) {
+    for (const auto& s : check::ScheduleExplorer::matrix(eo)) {
+      std::printf("%s\n", s.format().c_str());
+    }
+    return 0;
+  }
+
+  std::uint64_t done = 0;
+  eo.on_run = [&](const check::FaultSchedule& s, const check::RunOutcome& o) {
+    ++done;
+    if (opt.verbose) {
+      std::printf("[%5llu] %-90s %s\n", static_cast<unsigned long long>(done),
+                  s.format().c_str(), o.brief().c_str());
+    } else if (done % 100 == 0) {
+      std::printf("  ... %llu schedules explored\n",
+                  static_cast<unsigned long long>(done));
+      std::fflush(stdout);
+    }
+  };
+
+  const check::ExploreResult result = check::ScheduleExplorer::explore(eo);
+  std::printf("explored %llu schedules, %llu injections applied, %llu failures\n",
+              static_cast<unsigned long long>(result.runs),
+              static_cast<unsigned long long>(result.injections_applied),
+              static_cast<unsigned long long>(result.failures));
+
+  if (result.failures > 0) {
+    std::printf("first failure: %s\n  %s\n", result.first_failure.format().c_str(),
+                result.first_outcome.brief().c_str());
+    std::printf("shrunk to %zu injection(s): %s\n", result.shrunk.injections.size(),
+                result.shrunk_outcome.brief().c_str());
+    std::printf("%s\n", result.replay.c_str());
+  }
+
+  if (opt.mode == Options::Mode::kSeedBug) {
+    // Inverted expectation: the seeded bug *must* be caught and the shrunk
+    // schedule must still fail when re-executed.
+    const bool caught = result.failures > 0 && !result.shrunk_outcome.ok();
+    std::printf("%s\n", caught ? "PASS (seeded bug caught and shrunk)"
+                               : "FAIL (seeded bug escaped the explorer)");
+    return caught ? 0 : 1;
+  }
+  std::printf("%s\n", result.ok() ? "PASS" : "FAIL");
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (opt.mode == Options::Mode::kReplay) return run_replay(opt);
+  return run_explore(opt);
+}
