@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness/experiments.hpp"
+#include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -30,6 +31,7 @@ struct Row {
 Row run(Algorithm alg) {
   ScenarioConfig sc;
   sc.cluster = PaperSetup::testbed(alg);
+  sc.cluster.enable_spans = true;
   sc.factory = PaperSetup::workload();
   sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
   sc.horizon = PaperSetup::kHorizon;
@@ -46,9 +48,12 @@ int main() {
                "replayed msgs", "live blocked (mean)", "live blocked (max)", "ctrl msgs",
                "ctrl KiB"});
 
+  Table phases = harness::phase_breakdown_table("T1");
   for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
     const Row row = run(alg);
     const auto& r = row.result;
+    harness::add_phase_rows(phases, recovery::to_string(alg), r);
+    harness::print_bench_json("t1", recovery::to_string(alg), r);
     if (r.recoveries.size() != 1) {
       std::fprintf(stderr, "unexpected recovery count %zu\n", r.recoveries.size());
       return 1;
@@ -61,6 +66,7 @@ int main() {
                    Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1)});
   }
   table.print();
+  phases.print();
 
   std::printf("\nPaper-reported shape: equal recovery time across algorithms; blocking\n"
               "algorithm stalls each live process ~50 ms on average; the new algorithm\n"

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "harness/experiments.hpp"
+#include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -24,14 +25,18 @@ int main() {
               {"algorithm", "p1 total", "p2 total", "detect+restore share", "gather restarts",
                "live blocked (mean)", "ctrl msgs", "ctrl KiB", "extra gather cost"});
 
+  Table phases = harness::phase_breakdown_table("T2");
   for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
     ScenarioConfig sc;
     sc.cluster = PaperSetup::testbed(alg);
+    sc.cluster.enable_spans = true;
     sc.factory = PaperSetup::workload();
     sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash},
                   {ProcessId{2}, PaperSetup::kSecondCrash}};
     sc.horizon = PaperSetup::kHorizon;
     const auto r = harness::run_scenario(sc);
+    harness::add_phase_rows(phases, recovery::to_string(alg), r);
+    harness::print_bench_json("t2", recovery::to_string(alg), r);
     if (r.recoveries.size() != 2) {
       std::fprintf(stderr, "unexpected recovery count %zu\n", r.recoveries.size());
       return 1;
@@ -61,6 +66,7 @@ int main() {
          Table::ms(b.gather())});
   }
   table.print();
+  phases.print();
 
   std::printf("\nPaper-reported shape: ~5 s for both recovering processes under either\n"
               "algorithm, dominated by failure detection + state restore; the blocking\n"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "harness/experiments.hpp"
+#include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -22,10 +23,12 @@ int main() {
               {"k", "algorithm", "all recovered", "last completion", "rounds",
                "gather restarts", "det gaps", "live blocked (mean)", "ctrl msgs"});
 
+  Table phases = harness::phase_breakdown_table("T3 (k = 4)");
   for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
     for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
       ScenarioConfig sc;
       sc.cluster = PaperSetup::testbed(alg, 8, 4);
+      sc.cluster.enable_spans = true;
       sc.factory = PaperSetup::workload();
       for (std::uint32_t i = 0; i < k; ++i) {
         sc.crashes.push_back(
@@ -33,6 +36,10 @@ int main() {
       }
       sc.horizon = PaperSetup::kHorizon;
       const auto r = harness::run_scenario(sc);
+      if (k == 4) {
+        harness::add_phase_rows(phases, recovery::to_string(alg), r);
+        harness::print_bench_json("t3", recovery::to_string(alg), r);
+      }
 
       Duration last = 0;
       for (const auto& t : r.recoveries) last = std::max(last, t.completed_at);
@@ -44,6 +51,7 @@ int main() {
     }
   }
   table.print();
+  phases.print();
 
   std::printf("\nShape: one leader recovers the batch; latency is nearly flat in k\n"
               "(detection and restores overlap), no receipt orders are lost up to\n"

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "harness/experiments.hpp"
+#include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -23,11 +24,12 @@ using recovery::Algorithm;
 
 namespace {
 
-void run_scenario_row(Table& table, const char* scenario, Algorithm alg,
+void run_scenario_row(Table& table, Table* phases, const char* scenario, Algorithm alg,
                       std::vector<harness::CrashEvent> crashes, std::uint32_t f = 2,
                       bool fast_detection = false) {
   ScenarioConfig sc;
   sc.cluster = PaperSetup::testbed(alg, 8, f);
+  sc.cluster.enable_spans = true;
   if (fast_detection) {
     // Sub-second detection (Manetho-style prompt restart) with a lazy
     // determinant flush: receipt orders of the crashed process are still
@@ -43,6 +45,7 @@ void run_scenario_row(Table& table, const char* scenario, Algorithm alg,
   sc.crashes = std::move(crashes);
   sc.horizon = PaperSetup::kHorizon;
   const auto r = harness::run_scenario(sc);
+  if (phases != nullptr) harness::add_phase_rows(*phases, recovery::to_string(alg), r);
 
   Duration last_total = 0;
   for (const auto& t : r.recoveries) last_total = std::max(last_total, t.total());
@@ -64,14 +67,15 @@ int main() {
               {"scenario", "algorithm", "slowest recovery", "live blocked (mean)",
                "frames deferred", "live sync writes", "ctrl msgs"});
 
+  Table phases = harness::phase_breakdown_table("T4 (single failure)");
   for (const Algorithm alg :
        {Algorithm::kBlocking, Algorithm::kDeferUnsafe, Algorithm::kNonBlocking}) {
-    run_scenario_row(table, "single failure", alg,
+    run_scenario_row(table, &phases, "single failure", alg,
                      {{ProcessId{1}, PaperSetup::kFirstCrash}});
   }
   for (const Algorithm alg :
        {Algorithm::kBlocking, Algorithm::kDeferUnsafe, Algorithm::kNonBlocking}) {
-    run_scenario_row(table, "double failure", alg,
+    run_scenario_row(table, nullptr, "double failure", alg,
                      {{ProcessId{1}, PaperSetup::kFirstCrash},
                       {ProcessId{2}, PaperSetup::kSecondCrash}});
   }
@@ -82,10 +86,11 @@ int main() {
   // visibly delays live processes.
   for (const Algorithm alg :
        {Algorithm::kBlocking, Algorithm::kDeferUnsafe, Algorithm::kNonBlocking}) {
-    run_scenario_row(table, "f = n, fast detect", alg,
+    run_scenario_row(table, nullptr, "f = n, fast detect", alg,
                      {{ProcessId{1}, PaperSetup::kFirstCrash}}, 8, true);
   }
   table.print();
+  phases.print();
 
   std::printf("\nShape: defer-unsafe sits between the extremes. Its measurable cost on\n"
               "this workload is the synchronous stable-storage write every live\n"

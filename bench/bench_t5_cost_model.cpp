@@ -15,6 +15,7 @@
 
 #include "analysis/complexity.hpp"
 #include "harness/experiments.hpp"
+#include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -84,6 +85,7 @@ int main() {
 
   ScenarioConfig sc;
   sc.cluster = PaperSetup::testbed(Algorithm::kNonBlocking);
+  sc.cluster.enable_spans = true;
   sc.factory = PaperSetup::workload();
   sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
   sc.horizon = PaperSetup::kHorizon;
@@ -127,6 +129,10 @@ int main() {
                  ok ? "yes" : "NO"});
   }
   lat.print();
+
+  Table phases = harness::phase_breakdown_table("T5 (non-blocking, single failure)");
+  harness::add_phase_rows(phases, recovery::to_string(Algorithm::kNonBlocking), r);
+  phases.print();
 
   std::printf("\nModel verdict: %s. Communication's predicted share of recovery time is\n"
               "%.2f %% — the quantitative form of the paper's claim that message\n"

@@ -6,6 +6,7 @@
 
 #include "app/workloads.hpp"
 #include "fbl/frame.hpp"
+#include "obs/perfetto.hpp"
 #include "runtime/cluster.hpp"
 
 namespace rr::check {
@@ -35,6 +36,7 @@ runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
   cfg.recovery.phase_timeout = milliseconds(2500);
   cfg.recovery.bug_skip_gather_restart = s.seeded_bug;
   cfg.enable_trace = true;  // the checker needs the full structured history
+  cfg.enable_spans = true;  // failure reports carry a flight-recorder dump
   return cfg;
 }
 
@@ -78,7 +80,7 @@ std::string RunOutcome::brief() const {
   return "ok";
 }
 
-RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule) {
+RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capture) {
   runtime::Cluster cluster(explorer_cluster(schedule), explorer_workload());
 
   struct HookState {
@@ -181,6 +183,10 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule) {
   outcome.recoveries = cluster.all_recoveries().size();
   outcome.gather_restarts = cluster.metrics().counter_value("recovery.gather_restarts");
   outcome.state_hash = cluster.state_hash();
+  outcome.flight_dump = cluster.spans()->dump_all_flights();
+  if (capture != nullptr && capture->want_trace_json) {
+    capture->trace_json = obs::export_trace_event_json(*cluster.spans());
+  }
   return outcome;
 }
 

@@ -42,6 +42,10 @@ struct RunOutcome {
   std::uint64_t recoveries{0};
   std::uint64_t gather_restarts{0};
   std::uint64_t state_hash{0};
+  /// Flight-recorder excerpt (last spans per involved node, still-open
+  /// spans flagged), captured before the cluster is torn down. A wedged
+  /// recovery shows up as spans that never closed.
+  std::string flight_dump;
 
   [[nodiscard]] bool ok() const { return terminated && check.ok; }
   /// "ok", "did not terminate", or the first checker violation.
@@ -79,10 +83,19 @@ struct ExploreResult {
   [[nodiscard]] bool ok() const { return failures == 0; }
 };
 
+/// Extra artifacts a caller may request from one run (the backing cluster
+/// is destroyed before run() returns, so they must be captured inside).
+struct RunCapture {
+  /// Fill `trace_json` with the run's spans as Perfetto trace_event JSON.
+  bool want_trace_json{false};
+  std::string trace_json;
+};
+
 class ScheduleExplorer {
  public:
   /// Execute one schedule; deterministic in the schedule alone.
-  [[nodiscard]] static RunOutcome run(const FaultSchedule& schedule);
+  [[nodiscard]] static RunOutcome run(const FaultSchedule& schedule,
+                                      RunCapture* capture = nullptr);
 
   /// Greedy minimisation of a failing schedule: try removing each
   /// injection, then halving/zeroing delays, then shrinking the cluster,

@@ -1,0 +1,40 @@
+#include "harness/phase_breakdown.hpp"
+
+#include <cstdio>
+
+namespace rr::harness {
+
+Table phase_breakdown_table(const std::string& bench) {
+  return Table(bench + " — phase latency breakdown (per completed span)",
+               {"algorithm", "phase", "count", "p50", "p95", "max"});
+}
+
+void add_phase_rows(Table& table, const std::string& algorithm, const ScenarioResult& r) {
+  for (const PhaseLatency& p : r.span_latency) {
+    table.add_row({algorithm, p.name, Table::integer(p.count),
+                   Table::ms(static_cast<Duration>(p.p50_ns)),
+                   Table::ms(static_cast<Duration>(p.p95_ns)),
+                   Table::ms(static_cast<Duration>(p.max_ns))});
+  }
+}
+
+void print_bench_json(const std::string& bench, const std::string& algorithm,
+                      const ScenarioResult& r) {
+  std::string out = "BENCHJSON {\"bench\":\"" + bench + "\",\"algorithm\":\"" + algorithm +
+                    "\",\"phases\":{";
+  bool first = true;
+  char buf[160];
+  for (const PhaseLatency& p : r.span_latency) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"count\":%llu,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"max_ms\":%.3f}",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count), p.p50_ns / 1e6,
+                  p.p95_ns / 1e6, p.max_ns / 1e6);
+    out += buf;
+  }
+  out += "}}";
+  std::printf("%s\n", out.c_str());
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,29 @@
+// Per-phase recovery-latency breakdown shared by the T-series benches.
+//
+// Renders ScenarioResult::span_latency (the SpanTracer's "span.<name>"
+// distributions) two ways: a human-readable p50/p95/max table with one row
+// per (algorithm, phase), and a machine-readable "BENCHJSON {...}" marker
+// line that tools/bench_report.py scrapes into BENCH_recovery.json.
+#pragma once
+
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+
+namespace rr::harness {
+
+/// Empty table with the standard phase-breakdown columns.
+[[nodiscard]] Table phase_breakdown_table(const std::string& bench);
+
+/// One row per phase of `r.span_latency`, labelled with `algorithm`.
+void add_phase_rows(Table& table, const std::string& algorithm, const ScenarioResult& r);
+
+/// Print `r.span_latency` as a single self-identifying marker line:
+///   BENCHJSON {"bench":"t1","algorithm":"nonblocking","phases":{...}}
+/// Durations in milliseconds. Scraped by tools/bench_report.py; keep the
+/// shape in sync with BENCH_recovery.json.
+void print_bench_json(const std::string& bench, const std::string& algorithm,
+                      const ScenarioResult& r);
+
+}  // namespace rr::harness

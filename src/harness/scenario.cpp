@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/span.hpp"
+
 namespace rr::harness {
 
 Duration ScenarioResult::total_blocked() const {
@@ -79,6 +81,24 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   r.storage_bytes_written = m.counter_value("storage.bytes_written");
   r.piggyback_dets = m.counter_value("fbl.piggyback_dets");
   r.piggyback_bytes = m.counter_value("fbl.piggyback_bytes");
+
+  // Distill the span tracer's per-phase latency distributions before the
+  // cluster (and with it the registry) is torn down. Taxonomy order keeps
+  // the printed breakdown stable across runs and algorithms.
+  for (std::size_t i = 0; i < obs::kSpanNameCount; ++i) {
+    const auto name = static_cast<obs::SpanName>(i);
+    const std::string metric = std::string("span.") + obs::to_string(name);
+    const metrics::Histogram* h = m.find_histogram(metric);
+    const metrics::Accumulator* a = m.find_accum(metric);
+    if (h == nullptr || h->count() == 0) continue;
+    // Histogram quantiles are pow-of-2 bucket upper bounds; cap them at the
+    // exact max so p50/p95 never print above the true maximum.
+    const double max = a == nullptr ? 0.0 : a->max();
+    const double cap = a == nullptr ? h->quantile(1.0) : max;
+    r.span_latency.push_back(PhaseLatency{obs::to_string(name), h->count(),
+                                          std::min(h->quantile(0.50), cap),
+                                          std::min(h->quantile(0.95), cap), max});
+  }
 
   // Copy the registry's counters so the accessor outlives the cluster.
   auto counters = std::make_shared<std::map<std::string, std::uint64_t>>();

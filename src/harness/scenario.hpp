@@ -41,6 +41,18 @@ struct BlockedStat {
   std::uint64_t episodes{0};
 };
 
+/// One row of the per-phase span-latency breakdown, distilled from the
+/// registry's "span.<name>" histogram + accumulator pairs the SpanTracer
+/// feeds (requires cluster.enable_spans). Durations in nanoseconds; p50/p95
+/// carry the histogram's power-of-two bucket resolution, max is exact.
+struct PhaseLatency {
+  std::string name;  ///< span name: "gather", "regather", "replay", ...
+  std::uint64_t count{0};
+  double p50_ns{0};
+  double p95_ns{0};
+  double max_ns{0};
+};
+
 struct ScenarioResult {
   bool idle{false};
   Time finished_at{0};
@@ -50,6 +62,9 @@ struct ScenarioResult {
 
   std::vector<runtime::RecoveryTimeline> recoveries;
   std::vector<BlockedStat> blocked;  // one per process
+  /// Per-phase latency rows (empty unless cluster.enable_spans), sorted by
+  /// the span taxonomy's declaration order (protocol phases first).
+  std::vector<PhaseLatency> span_latency;
 
   std::uint64_t ctrl_msgs{0};
   std::uint64_t ctrl_bytes{0};

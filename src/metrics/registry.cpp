@@ -4,6 +4,24 @@
 
 namespace rr::metrics {
 
+namespace {
+
+template <typename Map>
+const typename Map::mapped_type* find_in(const Map& map, const std::string& name) {
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+template <typename Map>
+std::vector<std::string> names_of(const Map& map) {
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [k, v] : map) out.push_back(k);
+  return out;
+}
+
+}  // namespace
+
 Counter& Registry::counter(const std::string& name) { return counters_[name]; }
 
 Accumulator& Registry::accum(const std::string& name) { return accums_[name]; }
@@ -11,40 +29,27 @@ Accumulator& Registry::accum(const std::string& name) { return accums_[name]; }
 Histogram& Registry::histogram(const std::string& name) { return histograms_[name]; }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second.value();
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  return find_in(counters_, name);
 }
 
 const Accumulator* Registry::find_accum(const std::string& name) const {
-  const auto it = accums_.find(name);
-  return it == accums_.end() ? nullptr : &it->second;
+  return find_in(accums_, name);
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
-  const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  return find_in(histograms_, name);
 }
 
-std::vector<std::string> Registry::counter_names() const {
-  std::vector<std::string> out;
-  out.reserve(counters_.size());
-  for (const auto& [k, v] : counters_) out.push_back(k);
-  return out;
-}
+std::vector<std::string> Registry::counter_names() const { return names_of(counters_); }
 
-std::vector<std::string> Registry::accum_names() const {
-  std::vector<std::string> out;
-  out.reserve(accums_.size());
-  for (const auto& [k, v] : accums_) out.push_back(k);
-  return out;
-}
+std::vector<std::string> Registry::accum_names() const { return names_of(accums_); }
 
-std::vector<std::string> Registry::histogram_names() const {
-  std::vector<std::string> out;
-  out.reserve(histograms_.size());
-  for (const auto& [k, v] : histograms_) out.push_back(k);
-  return out;
-}
+std::vector<std::string> Registry::histogram_names() const { return names_of(histograms_); }
 
 void Registry::reset() {
   counters_.clear();

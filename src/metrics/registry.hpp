@@ -26,6 +26,9 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  /// Lookup without creating: nullptr when `name` was never written. One
+  /// accessor per cell kind, all symmetric.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
   [[nodiscard]] const Accumulator* find_accum(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 

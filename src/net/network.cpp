@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/span.hpp"
 
 namespace rr::net {
 
@@ -97,6 +98,11 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
   deliver_at = std::max(deliver_at, chan.at + config_.fifo_spacing);
   chan.at = deliver_at;
 
+  if (tracer_ != nullptr && !payload.empty()) {
+    tracer_->on_packet(sim_.now(), deliver_at, src.value, dst.value, bytes,
+                       static_cast<std::uint32_t>(payload[0]));
+  }
+
   sim_.schedule_at(deliver_at, [this, src, dst, payload = std::move(payload)]() mutable {
     const auto it = endpoints_.find(dst);
     if (it == endpoints_.end() || !it->second.up) {
@@ -115,6 +121,11 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
 void Network::inject(ProcessId src, ProcessId dst, Bytes payload, Duration delay) {
   RR_CHECK(delay >= 0);
   metrics_.counter("net.injected_stale").add();
+  if (tracer_ != nullptr && !payload.empty()) {
+    tracer_->on_packet(sim_.now(), sim_.now() + delay, src.value, dst.value,
+                       payload.size() + kHeaderBytes,
+                       static_cast<std::uint32_t>(payload[0]));
+  }
   sim_.schedule_after(delay, [this, src, dst, payload = std::move(payload)]() mutable {
     const auto it = endpoints_.find(dst);
     if (it == endpoints_.end() || !it->second.up) {

@@ -26,6 +26,10 @@
 #include "metrics/registry.hpp"
 #include "sim/simulator.hpp"
 
+namespace rr::obs {
+class SpanTracer;
+}
+
 namespace rr::net {
 
 /// Delivery callback target, implemented by the node runtime.
@@ -88,6 +92,12 @@ class Network {
   /// send() to every attached endpoint except `src`.
   void broadcast(ProcessId src, const Bytes& payload);
 
+  /// Install (or clear, with nullptr) the span tracer tap. Every accepted
+  /// packet reports (send time, delivery time, endpoints, size, first
+  /// payload byte) — both endpoints of the interval are known at send time,
+  /// so the tap is a single call with no matching state.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
   /// Install (or clear, with nullptr) the per-packet fault hook. Applies
   /// extra delay *before* the FIFO horizon, so injected delays push the
   /// whole channel back instead of reordering it.
@@ -134,6 +144,7 @@ class Network {
   std::unordered_map<ProcessId, EndpointState> endpoints_;
   std::vector<ChannelHorizon> channel_horizon_;  // sorted by key
   FaultHook fault_hook_;
+  obs::SpanTracer* tracer_{nullptr};
 };
 
 }  // namespace rr::net

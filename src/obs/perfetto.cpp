@@ -1,0 +1,360 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace rr::obs {
+
+namespace {
+
+/// Track (Perfetto tid) per span kind; see the header comment for why
+/// storage/net intervals get their own tracks.
+enum : int { kTrackProtocol = 0, kTrackStorage = 1, kTrackNet = 2 };
+
+int track_of(SpanName name) {
+  switch (name) {
+    case SpanName::kStorageWrite:
+    case SpanName::kStorageRead:
+    case SpanName::kStorageErase:
+      return kTrackStorage;
+    case SpanName::kCtrlTransit:
+      return kTrackNet;
+    default:
+      return kTrackProtocol;
+  }
+}
+
+const char* category_of(int track) {
+  switch (track) {
+    case kTrackStorage: return "storage";
+    case kTrackNet: return "net";
+    default: return "protocol";
+  }
+}
+
+void append_us(std::string& out, Time ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  out += buf;
+}
+
+void append_meta(std::string& out, int pid, int tid, const char* key,
+                 const std::string& value, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  {\"name\":\"";
+  out += key;
+  out += "\",\"ph\":\"M\",\"ts\":0,\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"" + value + "\"}}";
+}
+
+}  // namespace
+
+std::string export_trace_event_json(const SpanTracer& tracer) {
+  // Open spans are drawn up to the latest timestamp the arena knows about.
+  Time horizon = 0;
+  for (SpanId id = 1; id <= tracer.span_count(); ++id) {
+    const SpanRecord& rec = tracer.span(id);
+    horizon = std::max(horizon, rec.open() ? rec.begin : rec.end);
+  }
+
+  std::string out = "{\n\"traceEvents\":[\n";
+  bool first = true;
+  for (std::uint32_t slot = 0; slot <= tracer.num_nodes(); ++slot) {
+    const std::string pname =
+        slot == tracer.service_slot() ? "ord-service" : "p" + std::to_string(slot);
+    append_meta(out, static_cast<int>(slot), 0, "process_name", pname, first);
+    append_meta(out, static_cast<int>(slot), kTrackProtocol, "thread_name", "protocol", first);
+    append_meta(out, static_cast<int>(slot), kTrackStorage, "thread_name", "storage", first);
+    append_meta(out, static_cast<int>(slot), kTrackNet, "thread_name", "net", first);
+  }
+
+  for (SpanId id = 1; id <= tracer.span_count(); ++id) {
+    const SpanRecord& rec = tracer.span(id);
+    const int track = track_of(rec.name);
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\":\"";
+    out += to_string(rec.name);
+    out += "\",\"cat\":\"";
+    out += category_of(track);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, rec.begin);
+    out += ",\"dur\":";
+    append_us(out, rec.duration(horizon));
+    out += ",\"pid\":";
+    out += std::to_string(rec.node);
+    out += ",\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(id);
+    out += ",\"parent\":";
+    out += std::to_string(rec.parent);
+    out += ",\"inc\":";
+    out += std::to_string(rec.inc);
+    if (rec.detail != 0) out += ",\"detail\":" + std::to_string(rec.detail);
+    if (rec.aborted()) out += ",\"aborted\":true";
+    if (rec.open()) out += ",\"open\":true";
+    out += "}}";
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\"\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser + trace_event schema check. Validation only: the tree
+// it builds is a throwaway, so simplicity beats speed here.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind{Kind::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out)) {
+      error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("control char in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          out += '?';  // codepoint value irrelevant for validation
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue element;
+      if (!value(element)) return false;
+      out.object.emplace_back(std::move(key), std::move(element));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+bool schema_fail(std::string* error, std::size_t index, const char* what) {
+  if (error) *error = "traceEvents[" + std::to_string(index) + "]: " + what;
+  return false;
+}
+
+}  // namespace
+
+bool validate_trace_event_json(std::string_view json, std::string* error) {
+  JsonValue root;
+  std::string parse_error;
+  if (!JsonParser(json).parse(root, parse_error)) {
+    if (error) *error = "parse error: " + parse_error;
+    return false;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error) *error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error) *error = "missing \"traceEvents\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (ev.kind != JsonValue::Kind::kObject) return schema_fail(error, i, "not an object");
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return schema_fail(error, i, "missing string \"name\"");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string.size() != 1) {
+      return schema_fail(error, i, "missing one-char string \"ph\"");
+    }
+    for (const char* key : {"pid", "tid", "ts"}) {
+      const JsonValue* v = ev.find(key);
+      if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+        return schema_fail(error, i, "missing numeric pid/tid/ts");
+      }
+    }
+    const JsonValue* args = ev.find("args");
+    if (args != nullptr && args->kind != JsonValue::Kind::kObject) {
+      return schema_fail(error, i, "\"args\" is not an object");
+    }
+    if (ph->string == "X") {
+      const JsonValue* dur = ev.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber || dur->number < 0) {
+        return schema_fail(error, i, "\"X\" event without non-negative \"dur\"");
+      }
+      const JsonValue* cat = ev.find("cat");
+      if (cat == nullptr || cat->kind != JsonValue::Kind::kString) {
+        return schema_fail(error, i, "\"X\" event without string \"cat\"");
+      }
+    } else if (ph->string == "M") {
+      if (args == nullptr || args->find("name") == nullptr) {
+        return schema_fail(error, i, "metadata event without args.name");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rr::obs

@@ -1,0 +1,36 @@
+// Chrome/Perfetto trace_event export for the span tracer, plus a
+// dependency-free structural validator used by tier-1 tests.
+//
+// The emitted file is the JSON object form of the trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a top-level object with a "traceEvents" array of complete ("X") events.
+// Load it at https://ui.perfetto.dev or chrome://tracing. One Perfetto
+// "process" per simulated node (pid == node slot) with three named tracks:
+// protocol spans (tid 0), stable-storage intervals (tid 1) and control
+// packet transit (tid 2) — storage/net intervals routinely outlive the
+// protocol phase that issued them, so they cannot share the protocol track
+// without breaking trace_event's stack-nesting rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/span.hpp"
+
+namespace rr::obs {
+
+/// Render the tracer's whole arena as trace_event JSON. Spans still open
+/// are extended to the latest timestamp in the arena and tagged
+/// "open": true in their args.
+[[nodiscard]] std::string export_trace_event_json(const SpanTracer& tracer);
+
+/// Structural check of trace_event JSON: parses the document with a small
+/// built-in JSON parser (no external deps) and verifies the trace_event
+/// schema subset this repo emits — top-level object, "traceEvents" array,
+/// every event an object with string "name"/"ph"/"cat", numeric
+/// "pid"/"tid"/"ts", non-negative "dur" on "X" events, object "args".
+/// Returns true on success; on failure fills `error` (if non-null) with a
+/// description including the offending position.
+[[nodiscard]] bool validate_trace_event_json(std::string_view json, std::string* error);
+
+}  // namespace rr::obs

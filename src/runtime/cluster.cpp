@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "fbl/frame.hpp"
 
 namespace rr::runtime {
 
@@ -19,6 +20,16 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
 
   network_.attach(kOrdServiceId, ord_);
   if (config_.enable_trace) trace_ = std::make_unique<trace::TraceLog>();
+  if (config_.enable_spans) {
+    obs::SpanTracerConfig sc;
+    sc.num_nodes = config_.num_processes;
+    sc.flight_capacity = config_.flight_capacity;
+    // The fbl frame layer owns the wire format: control frames are the
+    // recovery protocol's traffic, and their first byte is the FrameKind.
+    sc.ctrl_frame_byte = static_cast<std::uint32_t>(fbl::FrameKind::kControl);
+    tracer_ = std::make_unique<obs::SpanTracer>(sc, metrics_);
+    network_.set_tracer(tracer_.get());
+  }
 
   pids_.reserve(config_.num_processes);
   for (std::uint32_t i = 0; i < config_.num_processes; ++i) pids_.push_back(ProcessId{i});
@@ -34,6 +45,7 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
       trace_->record(sim_.now(), trace::PhaseEvent{info.pid, info.phase, info.round, info.ord,
                                                    info.subject});
     }
+    if (tracer_) tracer_->on_phase(sim_.now(), info);
     if (phase_probe_) phase_probe_(info);
   };
   ord_.set_phase_hook(config_.recovery.phase_hook);
@@ -51,6 +63,7 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
     nc.replay_delivery_cost = config_.replay_delivery_cost;
     nc.det_flush_period = config_.det_flush_period;
     nc.trace = trace_.get();
+    nc.tracer = tracer_.get();
     nodes_.push_back(
         std::make_unique<Node>(sim_, network_, nc, factory(pid), pids_, metrics_));
   }

@@ -14,6 +14,7 @@
 #include "detect/failure_detector.hpp"
 #include "metrics/registry.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "recovery/ord_service.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "runtime/node.hpp"
@@ -43,6 +44,11 @@ struct ClusterConfig {
   Duration det_flush_period = milliseconds(250);
   /// Record a structured protocol trace (memory ∝ traffic; off by default).
   bool enable_trace{false};
+  /// Record causal spans (recovery phases, control-packet transit,
+  /// stable-storage intervals) into an obs::SpanTracer; off by default.
+  bool enable_spans{false};
+  /// Flight-recorder ring size per node when enable_spans is set.
+  std::uint32_t flight_capacity{64};
 };
 
 class Cluster {
@@ -96,6 +102,9 @@ class Cluster {
   /// Structured protocol trace (nullptr unless enable_trace).
   [[nodiscard]] const trace::TraceLog* trace() const noexcept { return trace_.get(); }
 
+  /// Causal span tracer (nullptr unless enable_spans).
+  [[nodiscard]] const obs::SpanTracer* spans() const noexcept { return tracer_.get(); }
+
   /// Run the global history checker on the recorded trace (requires
   /// enable_trace).
   [[nodiscard]] trace::CheckResult check_history() const;
@@ -116,6 +125,7 @@ class Cluster {
   net::Network network_;
   recovery::OrdService ord_;
   std::unique_ptr<trace::TraceLog> trace_;
+  std::unique_ptr<obs::SpanTracer> tracer_;
   std::vector<ProcessId> pids_;
   std::vector<std::unique_ptr<Node>> nodes_;
   recovery::PhaseHook phase_probe_;

@@ -171,6 +171,9 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
       det_flush_timer_(sim, config.det_flush_period, [this] { flush_unstable_dets(); }) {
   RR_CHECK(app_ != nullptr);
   RR_CHECK(std::is_sorted(processes_.begin(), processes_.end()));
+  if (config_.tracer != nullptr) {
+    storage_.set_tracer(config_.tracer, config_.id.value);
+  }
   network_.attach(config_.id, *this);
   network_.set_up(config_.id, false);  // dark until start()
 }
@@ -234,6 +237,7 @@ void Node::crash() {
   if (config_.trace != nullptr) {
     config_.trace->record(sim_.now(), trace::CrashEvent{config_.id, inc_});
   }
+  if (config_.tracer != nullptr) config_.tracer->on_crash(sim_.now(), config_.id.value, inc_);
   RR_INFO("node", "%s crashed (inc %u)", to_string(config_.id).c_str(), inc_);
   ++epoch_;
   alive_ = false;
@@ -273,6 +277,7 @@ void Node::crash() {
 
 void Node::begin_restore() {
   current_recovery_->restore_started = sim_.now();
+  if (config_.tracer != nullptr) config_.tracer->on_restore_begin(sim_.now(), config_.id.value);
   const auto epoch = epoch_;
   storage_.read(inc_key(), [this, epoch](std::optional<Bytes> blk) {
     if (epoch != epoch_) return;
@@ -346,6 +351,7 @@ void Node::finish_restore(const fbl::Checkpoint& cp) {
   current_recovery_->restored_at = sim_.now();
   current_recovery_->inc = inc_;
   metrics_.counter("node.restores").add();
+  if (config_.tracer != nullptr) config_.tracer->on_restored(sim_.now(), config_.id.value, inc_);
   if (config_.trace != nullptr) {
     config_.trace->record(sim_.now(), trace::RestoreEvent{config_.id, inc_, cp.rsn});
   }
@@ -371,6 +377,9 @@ void Node::finish_recovery() {
       static_cast<double>(current_recovery_->replayed));
   timelines_.push_back(*current_recovery_);
   current_recovery_.reset();
+  if (config_.tracer != nullptr) {
+    config_.tracer->on_recovery_complete(sim_.now(), config_.id.value);
+  }
 
   recovery_.on_replay_complete();
   if (config_.trace != nullptr) {

@@ -33,6 +33,7 @@
 #include "metrics/counters.hpp"
 #include "metrics/registry.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "recovery/output_commit.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "recovery/replay.hpp"
@@ -62,6 +63,10 @@ struct NodeConfig {
   Duration det_flush_period = milliseconds(250);
   /// Optional structured protocol trace (owned by the cluster).
   trace::TraceLog* trace{nullptr};
+  /// Optional causal span tracer (owned by the cluster). The node reports
+  /// its lifecycle edges (crash / restore / recovery-complete) and hands the
+  /// tap to its stable-storage device.
+  obs::SpanTracer* tracer{nullptr};
 };
 
 /// Completed-recovery measurement, one entry per recovery of this node.

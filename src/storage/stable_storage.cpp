@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/span.hpp"
 
 namespace rr::storage {
 
@@ -54,7 +55,11 @@ void StableStorage::write(std::string key, Bytes data, WriteCallback done) {
       static_cast<double>(data.size()) / config_.bytes_per_second * 1e9);
   metrics_.counter(prefix_ + ".writes").add();
   metrics_.counter(prefix_ + ".bytes_written").add(data.size());
+  const std::size_t bytes = data.size();
   const Time at = reserve(transfer);
+  if (tracer_ != nullptr) {
+    tracer_->on_storage_op(sim_.now(), at, tracer_node_, obs::SpanName::kStorageWrite, bytes);
+  }
   queue_.push_back(PendingOp{PendingOp::Kind::kWrite, std::move(key), std::move(data),
                              std::move(done), nullptr});
   sim_.schedule_at(at, [this] { complete_front(); });
@@ -71,6 +76,9 @@ void StableStorage::read(std::string key, ReadCallback done) {
   metrics_.counter(prefix_ + ".reads").add();
   metrics_.counter(prefix_ + ".bytes_read").add(bytes);
   const Time at = reserve(transfer);
+  if (tracer_ != nullptr) {
+    tracer_->on_storage_op(sim_.now(), at, tracer_node_, obs::SpanName::kStorageRead, bytes);
+  }
   queue_.push_back(
       PendingOp{PendingOp::Kind::kRead, std::move(key), {}, nullptr, std::move(done)});
   sim_.schedule_at(at, [this] { complete_front(); });
@@ -79,6 +87,9 @@ void StableStorage::read(std::string key, ReadCallback done) {
 void StableStorage::erase(std::string key, WriteCallback done) {
   metrics_.counter(prefix_ + ".erases").add();
   const Time at = reserve(kDurationZero);
+  if (tracer_ != nullptr) {
+    tracer_->on_storage_op(sim_.now(), at, tracer_node_, obs::SpanName::kStorageErase, 0);
+  }
   queue_.push_back(
       PendingOp{PendingOp::Kind::kErase, std::move(key), {}, std::move(done), nullptr});
   sim_.schedule_at(at, [this] { complete_front(); });

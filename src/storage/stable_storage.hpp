@@ -25,6 +25,10 @@
 #include "metrics/registry.hpp"
 #include "sim/simulator.hpp"
 
+namespace rr::obs {
+class SpanTracer;
+}
+
 namespace rr::storage {
 
 struct StorageConfig {
@@ -60,6 +64,15 @@ class StableStorage {
   [[nodiscard]] std::size_t size_of(const std::string& key) const;
   [[nodiscard]] std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
+  /// Attach (or clear, with nullptr) the span tracer tap; `node` is the
+  /// tracer slot every operation of this device is attributed to. The device
+  /// is serial with completion times computed at issue, so each op reports a
+  /// complete interval in one call.
+  void set_tracer(obs::SpanTracer* tracer, std::uint32_t node) {
+    tracer_ = tracer;
+    tracer_node_ = node;
+  }
+
   /// Time at which the device drains all currently queued work.
   [[nodiscard]] Time busy_until() const noexcept { return busy_until_; }
 
@@ -92,6 +105,8 @@ class StableStorage {
   std::map<std::string, Bytes> blocks_;
   std::deque<PendingOp> queue_;
   Time busy_until_{kTimeZero};
+  obs::SpanTracer* tracer_{nullptr};
+  std::uint32_t tracer_node_{0};
 };
 
 }  // namespace rr::storage

@@ -144,6 +144,19 @@ TEST(Registry, AccumulatorLookup) {
   EXPECT_DOUBLE_EQ(r.find_accum("lat")->mean(), 5.0);
 }
 
+TEST(Registry, FindCounterDoesNotCreate) {
+  Registry r;
+  EXPECT_EQ(r.find_counter("missing"), nullptr);
+  EXPECT_TRUE(r.counter_names().empty());
+  r.counter("hits").add(3);
+  const Counter* c = r.find_counter("hits");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 3u);
+  EXPECT_EQ(r.counter_value("hits"), 3u);
+  EXPECT_EQ(r.counter_value("missing"), 0u);
+  EXPECT_EQ(r.counter_names(), std::vector<std::string>{"hits"});
+}
+
 TEST(Registry, NamesSorted) {
   Registry r;
   r.counter("z");

@@ -1,0 +1,111 @@
+// Round-trips generated Perfetto trace_event JSON through the built-in
+// structural validator, and exercises the validator's failure modes on
+// hand-crafted documents.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/span.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace rr {
+namespace {
+
+using recovery::Algorithm;
+
+std::string traced_scenario_json(std::vector<harness::CrashEvent> crashes) {
+  auto sc = test::base_scenario(Algorithm::kNonBlocking);
+  sc.cluster.enable_spans = true;
+  sc.crashes = std::move(crashes);
+  std::string json;
+  harness::run_scenario(sc, [&](runtime::Cluster& cluster) {
+    ASSERT_NE(cluster.spans(), nullptr);
+    json = obs::export_trace_event_json(*cluster.spans());
+  });
+  return json;
+}
+
+TEST(ObsPerfetto, GeneratedTraceValidates) {
+  const std::string json = traced_scenario_json({{ProcessId{1}, seconds(3)}});
+  ASSERT_FALSE(json.empty());
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_event_json(json, &error)) << error;
+  // The protocol content is present: a recovery slice and per-node
+  // metadata records.
+  EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ObsPerfetto, DoubleFailureTraceValidates) {
+  const std::string json = traced_scenario_json(
+      {{ProcessId{1}, seconds(3)}, {ProcessId{2}, milliseconds(3'700)}});
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_event_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"regather\""), std::string::npos);
+}
+
+TEST(ObsPerfetto, ValidatorAcceptsMinimalDocument) {
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_event_json(R"({"traceEvents":[]})", &error)) << error;
+  EXPECT_TRUE(obs::validate_trace_event_json(
+      R"({"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":1,"ts":0.5,"dur":2,"cat":"p"}]})",
+      &error))
+      << error;
+}
+
+TEST(ObsPerfetto, ValidatorRejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_trace_event_json("", &error));
+  EXPECT_FALSE(obs::validate_trace_event_json("[1,2,3]", &error));  // not an object
+  EXPECT_FALSE(obs::validate_trace_event_json(R"({"traceEvents":[)", &error));
+  EXPECT_FALSE(obs::validate_trace_event_json(R"({"traceEvents":[]} trailing)", &error));
+  EXPECT_FALSE(obs::validate_trace_event_json(R"({"traceEvents":[{"ph":"X"}]})", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsPerfetto, ValidatorRejectsSchemaViolations) {
+  std::string error;
+  // "X" event without a duration.
+  EXPECT_FALSE(obs::validate_trace_event_json(
+      R"({"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":1,"cat":"p"}]})", &error));
+  // Negative duration.
+  EXPECT_FALSE(obs::validate_trace_event_json(
+      R"({"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":1,"dur":-2,"cat":"p"}]})",
+      &error));
+  // Non-numeric pid.
+  EXPECT_FALSE(obs::validate_trace_event_json(
+      R"({"traceEvents":[{"name":"a","ph":"X","pid":"x","tid":0,"ts":1,"dur":1,"cat":"p"}]})",
+      &error));
+  // Metadata event without args.name.
+  EXPECT_FALSE(obs::validate_trace_event_json(
+      R"({"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0,"ts":0,"args":{}}]})",
+      &error));
+  EXPECT_NE(error.find("args"), std::string::npos);
+}
+
+TEST(ObsPerfetto, OpenSpansAreTaggedAndExtended) {
+  // Stop at the horizon while a recovery is still in flight: crash late so
+  // the run ends mid-recovery and the root stays open.
+  auto sc = test::base_scenario(Algorithm::kNonBlocking);
+  sc.cluster.enable_spans = true;
+  sc.crashes = {{ProcessId{1}, milliseconds(7'800)}};
+  sc.horizon = seconds(8);
+  sc.idle_deadline = seconds(8);
+  std::string json;
+  bool has_open = false;
+  harness::run_scenario(sc, [&](runtime::Cluster& cluster) {
+    json = obs::export_trace_event_json(*cluster.spans());
+    has_open = !cluster.spans()->open_spans(1).empty();
+  });
+  ASSERT_TRUE(has_open);
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_event_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"open\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run the google-benchmark microbenchmark suites and record BENCH_kernel.json.
+"""Run the benchmark suites and record BENCH_kernel.json + BENCH_recovery.json.
 
 Runs bench_micro_sim and bench_micro_serde with --benchmark_format=json and
 writes a merged report at the repo root, so the kernel's performance
@@ -7,9 +7,15 @@ trajectory is tracked across PRs. The first report ever written freezes its
 numbers as the "baseline"; later runs keep that baseline and refresh
 "current", reporting the speedup for the key kernel benchmarks.
 
+Also runs the T-series recovery benches (bench_t1..bench_t3) and scrapes
+their "BENCHJSON {...}" marker lines — the span tracer's per-phase
+p50/p95/max latency breakdown — into BENCH_recovery.json.
+
 Usage:
   tools/bench_report.py [--build-dir build] [--out BENCH_kernel.json]
+                        [--recovery-out BENCH_recovery.json]
                         [--filter REGEX] [--baseline-from FILE]
+                        [--skip-kernel] [--skip-recovery]
 """
 
 import argparse
@@ -19,6 +25,11 @@ import subprocess
 import sys
 
 SUITES = ("bench_micro_sim", "bench_micro_serde")
+RECOVERY_SUITES = (
+    "bench_t1_single_failure",
+    "bench_t2_failure_during_recovery",
+    "bench_t3_multi_failure",
+)
 KEY_BENCHMARKS = (
     "BM_ScheduleAndRun/65536",
     "BM_CancelHeavy/65536",
@@ -50,12 +61,42 @@ def run_suite(binary: pathlib.Path, bench_filter: str | None) -> list[dict]:
     return rows
 
 
+def scrape_benchjson(binary: pathlib.Path) -> list[dict]:
+    """Collect the BENCHJSON marker lines a T-series bench prints."""
+    out = subprocess.run([str(binary)], check=True, capture_output=True, text=True)
+    rows = []
+    for line in out.stdout.splitlines():
+        if line.startswith("BENCHJSON "):
+            rows.append(json.loads(line[len("BENCHJSON "):]))
+    return rows
+
+
+def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path) -> int:
+    benches: dict[str, dict] = {}
+    for suite in RECOVERY_SUITES:
+        binary = build / "bench" / suite
+        if not binary.exists():
+            print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
+            return 1
+        print(f"running {suite} ...", file=sys.stderr)
+        for row in scrape_benchjson(binary):
+            bench = benches.setdefault(row["bench"], {"suite": suite, "algorithms": {}})
+            bench["algorithms"][row["algorithm"]] = row["phases"]
+    report = {"schema": 1, "unit": "ms", "benches": benches}
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default=str(repo_root / "build"))
     ap.add_argument("--out", default=str(repo_root / "BENCH_kernel.json"))
+    ap.add_argument("--recovery-out", default=str(repo_root / "BENCH_recovery.json"))
     ap.add_argument("--filter", default=None, help="benchmark name regex")
+    ap.add_argument("--skip-kernel", action="store_true")
+    ap.add_argument("--skip-recovery", action="store_true")
     ap.add_argument(
         "--baseline-from",
         default=None,
@@ -65,6 +106,13 @@ def main() -> int:
 
     build = pathlib.Path(args.build_dir)
     out_path = pathlib.Path(args.out)
+
+    if not args.skip_recovery:
+        rc = write_recovery_report(build, pathlib.Path(args.recovery_out))
+        if rc != 0:
+            return rc
+    if args.skip_kernel:
+        return 0
 
     current: dict[str, dict] = {}
     for suite in SUITES:

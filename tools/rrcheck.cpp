@@ -41,7 +41,10 @@ namespace {
       "  --max-runs N         truncate the matrix to N schedules\n"
       "  --keep-going         do not stop at the first failure\n"
       "  --verbose            one line per run\n"
-      "  --debug              protocol debug logging (use with --replay)\n"
+      "  --debug              protocol debug logging, and with --replay also\n"
+      "                       write the span timeline (rrcheck_trace.json)\n"
+      "  --trace-out FILE     with --replay: write the run's span timeline as\n"
+      "                       Chrome/Perfetto trace_event JSON\n"
       "  --help               this text\n");
   std::exit(code);
 }
@@ -53,6 +56,8 @@ struct Options {
   std::uint64_t max_runs = 0;
   bool keep_going = false;
   bool verbose = false;
+  bool debug = false;
+  std::string trace_out;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -94,7 +99,10 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else if (arg == "--debug") {
+      opt.debug = true;
       logging::set_level(LogLevel::kDebug);
+    } else if (arg == "--trace-out") {
+      opt.trace_out = need_value(i);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(2);
@@ -112,7 +120,13 @@ int run_replay(const Options& opt) {
     return 2;
   }
   std::printf("replaying %s\n", schedule.format().c_str());
-  const check::RunOutcome outcome = check::ScheduleExplorer::run(schedule);
+  // --debug without an explicit --trace-out still lands the span timeline
+  // somewhere predictable.
+  std::string trace_path = opt.trace_out;
+  if (trace_path.empty() && opt.debug) trace_path = "rrcheck_trace.json";
+  check::RunCapture capture;
+  capture.want_trace_json = !trace_path.empty();
+  const check::RunOutcome outcome = check::ScheduleExplorer::run(schedule, &capture);
   std::printf("  terminated=%s  recoveries=%llu  gather_restarts=%llu  "
               "phase_events=%llu  injections=%llu  state_hash=%016llx\n",
               outcome.terminated ? "yes" : "NO",
@@ -131,6 +145,20 @@ int run_replay(const Options& opt) {
   std::printf("  checker: %s\n", outcome.check.summary().c_str());
   for (const std::string& v : outcome.check.violations) {
     std::printf("  violation: %s\n", v.c_str());
+  }
+  if (!outcome.flight_dump.empty()) {
+    std::printf("%s", outcome.flight_dump.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rrcheck: cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    std::fwrite(capture.trace_json.data(), 1, capture.trace_json.size(), f);
+    std::fclose(f);
+    std::printf("span timeline written to %s (load at ui.perfetto.dev)\n",
+                trace_path.c_str());
   }
   std::printf("%s\n", outcome.ok() ? "PASS" : "FAIL");
   return outcome.ok() ? 0 : 1;
@@ -176,6 +204,9 @@ int run_explore(const Options& opt) {
     std::printf("shrunk to %zu injection(s): %s\n", result.shrunk.injections.size(),
                 result.shrunk_outcome.brief().c_str());
     std::printf("%s\n", result.replay.c_str());
+    if (!result.shrunk_outcome.flight_dump.empty()) {
+      std::printf("%s", result.shrunk_outcome.flight_dump.c_str());
+    }
   }
 
   if (opt.mode == Options::Mode::kSeedBug) {

@@ -19,6 +19,7 @@
 #include "common/log.hpp"
 #include "harness/experiments.hpp"
 #include "harness/table.hpp"
+#include "obs/perfetto.hpp"
 #include "runtime/cluster.hpp"
 #include "trace/history_checker.hpp"
 
@@ -40,6 +41,7 @@ struct Options {
   bool check = false;
   bool trace_dump = false;
   bool verbose = false;
+  std::string trace_out;
   std::vector<std::pair<std::uint32_t, double>> crashes;  // pid @ seconds
 };
 
@@ -59,6 +61,8 @@ struct Options {
       "  --metrics            dump the full metrics registry\n"
       "  --check              record a trace and run the history checker\n"
       "  --trace-dump         print the first 200 trace events (implies --check)\n"
+      "  --trace-out FILE     record causal spans and write them as\n"
+      "                       Chrome/Perfetto trace_event JSON\n"
       "  --verbose            protocol-level logging\n"
       "  --help               this text\n");
   std::exit(code);
@@ -119,6 +123,8 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--trace-dump") {
       opt.check = true;
       opt.trace_dump = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = need_value(i);
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -177,6 +183,7 @@ int main(int argc, char** argv) {
             }();
   config.seed = opt.seed;
   config.enable_trace = opt.check;
+  config.enable_spans = !opt.trace_out.empty();
 
   runtime::Cluster cluster(config, make_workload(opt));
   cluster.start();
@@ -235,6 +242,18 @@ int main(int argc, char** argv) {
   }
 
   bool ok = cluster.all_idle();
+  if (!opt.trace_out.empty()) {
+    const std::string json = obs::export_trace_event_json(*cluster.spans());
+    std::FILE* f = std::fopen(opt.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rrsim: cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nspan timeline: %zu spans written to %s (load at ui.perfetto.dev)\n",
+                cluster.spans()->span_count(), opt.trace_out.c_str());
+  }
   if (opt.check) {
     const auto result = cluster.check_history();
     std::printf("\nhistory check: %s\n", result.summary().c_str());
