@@ -5,8 +5,10 @@
 // while the new algorithm stays at zero. This sweep runs the single-failure
 // scenario at n = 4..32 under both algorithms.
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -15,13 +17,17 @@ using harness::ScenarioConfig;
 using harness::Table;
 using recovery::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
   std::printf("F2: single-failure intrusion and recovery latency vs system size\n");
 
   Table table("F2 — scale sweep (one crash, f = 2)",
               {"n", "algorithm", "recovery total", "replayed", "live blocked (mean)",
                "aggregate blocked", "ctrl msgs", "ctrl KiB"});
 
+  std::vector<std::uint32_t> ns;
+  std::vector<Algorithm> algs;
+  std::vector<ScenarioConfig> configs;
   for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
     for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
       ScenarioConfig sc;
@@ -29,18 +35,25 @@ int main() {
       sc.factory = PaperSetup::workload();
       sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
       sc.horizon = PaperSetup::kHorizon;
-      const auto r = harness::run_scenario(sc);
-      if (r.recoveries.size() != 1) {
-        std::fprintf(stderr, "n=%u: unexpected recovery count %zu\n", n, r.recoveries.size());
-        return 1;
-      }
-      table.add_row({Table::integer(n), recovery::to_string(alg),
-                     Table::secs(r.recoveries[0].total()),
-                     Table::integer(r.recoveries[0].replayed),
-                     Table::ms(r.mean_live_blocked(sc.crashes)), Table::ms(r.total_blocked()),
-                     Table::integer(r.ctrl_msgs),
-                     Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1)});
+      ns.push_back(n);
+      algs.push_back(alg);
+      configs.push_back(std::move(sc));
     }
+  }
+  const auto results = harness::run_scenarios(configs, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::uint32_t n = ns[i];
+    const auto& r = results[i];
+    if (r.recoveries.size() != 1) {
+      std::fprintf(stderr, "n=%u: unexpected recovery count %zu\n", n, r.recoveries.size());
+      return 1;
+    }
+    table.add_row({Table::integer(n), recovery::to_string(algs[i]),
+                   Table::secs(r.recoveries[0].total()),
+                   Table::integer(r.recoveries[0].replayed),
+                   Table::ms(r.mean_live_blocked(configs[i].crashes)),
+                   Table::ms(r.total_blocked()), Table::integer(r.ctrl_msgs),
+                   Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1)});
   }
   table.print();
 

@@ -6,8 +6,10 @@
 // recovery latency tracks the restore term while the communication cost of
 // recovery stays flat — storage, not messages, is the bottleneck.
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -16,21 +18,28 @@ using harness::ScenarioConfig;
 using harness::Table;
 using recovery::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
   std::printf("F3: recovery latency vs stable-storage bandwidth (non-blocking algorithm)\n");
 
   Table table("F3 — storage bandwidth sweep (one crash, n = 8, ~1 MB image)",
               {"storage MB/s", "restore", "gather", "replay", "recovery total",
                "storage share", "ctrl msgs"});
 
-  for (const double mbps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+  const std::vector<double> sweep = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  std::vector<ScenarioConfig> configs;
+  for (const double mbps : sweep) {
     ScenarioConfig sc;
     sc.cluster = PaperSetup::testbed(Algorithm::kNonBlocking);
     sc.cluster.storage.bytes_per_second = mbps * 1024 * 1024;
     sc.factory = PaperSetup::workload();
     sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
     sc.horizon = PaperSetup::kHorizon;
-    const auto r = harness::run_scenario(sc);
+    configs.push_back(std::move(sc));
+  }
+  const auto results = harness::run_scenarios(configs, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     if (r.recoveries.size() != 1) {
       std::fprintf(stderr, "unexpected recovery count\n");
       return 1;
@@ -38,7 +47,7 @@ int main() {
     const auto& t = r.recoveries[0];
     const double share =
         100.0 * static_cast<double>(t.restore()) / static_cast<double>(t.total() - t.detect());
-    table.add_row({Table::num(mbps, 1), Table::ms(t.restore(), 0), Table::ms(t.gather()),
+    table.add_row({Table::num(sweep[i], 1), Table::ms(t.restore(), 0), Table::ms(t.gather()),
                    Table::ms(t.replay(), 0), Table::secs(t.total()),
                    Table::num(share, 1) + " %", Table::integer(r.ctrl_msgs)});
   }

@@ -6,8 +6,10 @@
 // against the detection + restore terms, locating the regime where message
 // counts would start to rival storage — far beyond the 1995 ATM testbed.
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 using namespace rr;
@@ -16,13 +18,17 @@ using harness::ScenarioConfig;
 using harness::Table;
 using recovery::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
   std::printf("F4: recovery communication cost vs per-hop network latency\n");
 
   Table table("F4 — network latency sweep (one crash, n = 8)",
               {"hop latency", "algorithm", "gather", "recovery total", "gather share",
                "ctrl msgs", "ctrl KiB", "live blocked (mean)"});
 
+  std::vector<std::int64_t> hops;
+  std::vector<Algorithm> algs;
+  std::vector<ScenarioConfig> configs;
   for (const std::int64_t us : {50ll, 250ll, 1000ll, 5000ll, 10000ll, 50000ll}) {
     for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
       ScenarioConfig sc;
@@ -32,20 +38,26 @@ int main() {
       sc.factory = PaperSetup::workload();
       sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
       sc.horizon = PaperSetup::kHorizon;
-      const auto r = harness::run_scenario(sc);
-      if (r.recoveries.size() != 1) {
-        std::fprintf(stderr, "unexpected recovery count\n");
-        return 1;
-      }
-      const auto& t = r.recoveries[0];
-      const double share =
-          100.0 * static_cast<double>(t.gather()) / static_cast<double>(t.total());
-      table.add_row({format_duration(microseconds(us)), recovery::to_string(alg),
-                     Table::ms(t.gather()), Table::secs(t.total()),
-                     Table::num(share, 2) + " %", Table::integer(r.ctrl_msgs),
-                     Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1),
-                     Table::ms(r.mean_live_blocked(sc.crashes))});
+      hops.push_back(us);
+      algs.push_back(alg);
+      configs.push_back(std::move(sc));
     }
+  }
+  const auto results = harness::run_scenarios(configs, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.recoveries.size() != 1) {
+      std::fprintf(stderr, "unexpected recovery count\n");
+      return 1;
+    }
+    const auto& t = r.recoveries[0];
+    const double share =
+        100.0 * static_cast<double>(t.gather()) / static_cast<double>(t.total());
+    table.add_row({format_duration(microseconds(hops[i])), recovery::to_string(algs[i]),
+                   Table::ms(t.gather()), Table::secs(t.total()),
+                   Table::num(share, 2) + " %", Table::integer(r.ctrl_msgs),
+                   Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1),
+                   Table::ms(r.mean_live_blocked(configs[i].crashes))});
   }
   table.print();
 

@@ -10,8 +10,10 @@
 // This bench runs the calibrated testbed under both algorithms and prints
 // the comparison row by row.
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
 #include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
@@ -23,24 +25,20 @@ using recovery::Algorithm;
 
 namespace {
 
-struct Row {
-  harness::ScenarioResult result;
-  std::vector<harness::CrashEvent> crashes;
-};
-
-Row run(Algorithm alg) {
+ScenarioConfig configure(Algorithm alg) {
   ScenarioConfig sc;
   sc.cluster = PaperSetup::testbed(alg);
   sc.cluster.enable_spans = true;
   sc.factory = PaperSetup::workload();
   sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
   sc.horizon = PaperSetup::kHorizon;
-  return Row{harness::run_scenario(sc), sc.crashes};
+  return sc;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
   std::printf("T1: single failure on the 8-node testbed (paper §5, experiment 1)\n");
 
   Table table("T1 — single failure, blocking vs non-blocking recovery",
@@ -49,9 +47,13 @@ int main() {
                "ctrl KiB"});
 
   Table phases = harness::phase_breakdown_table("T1");
-  for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
-    const Row row = run(alg);
-    const auto& r = row.result;
+  const std::vector<Algorithm> algs = {Algorithm::kBlocking, Algorithm::kNonBlocking};
+  std::vector<ScenarioConfig> configs;
+  for (const Algorithm alg : algs) configs.push_back(configure(alg));
+  const auto results = harness::run_scenarios(configs, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Algorithm alg = algs[i];
+    const auto& r = results[i];
     harness::add_phase_rows(phases, recovery::to_string(alg), r);
     harness::print_bench_json("t1", recovery::to_string(alg), r);
     if (r.recoveries.size() != 1) {
@@ -61,7 +63,7 @@ int main() {
     const auto& t = r.recoveries[0];
     table.add_row({recovery::to_string(alg), Table::secs(t.total()), Table::secs(t.detect()),
                    Table::ms(t.restore(), 0), Table::ms(t.gather()), Table::ms(t.replay(), 0),
-                   Table::integer(t.replayed), Table::ms(r.mean_live_blocked(row.crashes)),
+                   Table::integer(t.replayed), Table::ms(r.mean_live_blocked(configs[i].crashes)),
                    Table::ms(r.max_blocked()), Table::integer(r.ctrl_msgs),
                    Table::num(static_cast<double>(r.ctrl_bytes) / 1024.0, 1)});
   }

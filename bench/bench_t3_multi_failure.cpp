@@ -5,8 +5,10 @@
 // single round: the table reports batch recovery latency, gather restarts
 // and the blocked time of the surviving processes under both algorithms.
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
 #include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
 
@@ -16,7 +18,8 @@ using harness::ScenarioConfig;
 using harness::Table;
 using recovery::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
   std::printf("T3: k simultaneous failures (n = 8, f = 4)\n");
 
   Table table("T3 — simultaneous failures",
@@ -24,6 +27,9 @@ int main() {
                "gather restarts", "det gaps", "live blocked (mean)", "ctrl msgs"});
 
   Table phases = harness::phase_breakdown_table("T3 (k = 4)");
+  std::vector<std::uint32_t> ks;
+  std::vector<Algorithm> algs;
+  std::vector<ScenarioConfig> configs;
   for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
     for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
       ScenarioConfig sc;
@@ -35,20 +41,29 @@ int main() {
             {ProcessId{1 + i}, PaperSetup::kFirstCrash + milliseconds(3 * i)});
       }
       sc.horizon = PaperSetup::kHorizon;
-      const auto r = harness::run_scenario(sc);
-      if (k == 4) {
-        harness::add_phase_rows(phases, recovery::to_string(alg), r);
-        harness::print_bench_json("t3", recovery::to_string(alg), r);
-      }
-
-      Duration last = 0;
-      for (const auto& t : r.recoveries) last = std::max(last, t.completed_at);
-      table.add_row({Table::integer(k), recovery::to_string(alg),
-                     r.recoveries.size() == k ? "yes" : "NO",
-                     Table::secs(last - PaperSetup::kFirstCrash), Table::integer(r.rounds),
-                     Table::integer(r.gather_restarts), Table::integer(r.det_gaps),
-                     Table::ms(r.mean_live_blocked(sc.crashes)), Table::integer(r.ctrl_msgs)});
+      ks.push_back(k);
+      algs.push_back(alg);
+      configs.push_back(std::move(sc));
     }
+  }
+  const auto results = harness::run_scenarios(configs, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::uint32_t k = ks[i];
+    const Algorithm alg = algs[i];
+    const auto& r = results[i];
+    if (k == 4) {
+      harness::add_phase_rows(phases, recovery::to_string(alg), r);
+      harness::print_bench_json("t3", recovery::to_string(alg), r);
+    }
+
+    Duration last = 0;
+    for (const auto& t : r.recoveries) last = std::max(last, t.completed_at);
+    table.add_row({Table::integer(k), recovery::to_string(alg),
+                   r.recoveries.size() == k ? "yes" : "NO",
+                   Table::secs(last - PaperSetup::kFirstCrash), Table::integer(r.rounds),
+                   Table::integer(r.gather_restarts), Table::integer(r.det_gaps),
+                   Table::ms(r.mean_live_blocked(configs[i].crashes)),
+                   Table::integer(r.ctrl_msgs)});
   }
   table.print();
   phases.print();

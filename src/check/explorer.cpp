@@ -1,10 +1,14 @@
 #include "check/explorer.hpp"
 
+#include <algorithm>
 #include <array>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "app/workloads.hpp"
+#include "exec/work_steal.hpp"
 #include "fbl/frame.hpp"
 #include "obs/perfetto.hpp"
 #include "runtime/cluster.hpp"
@@ -68,6 +72,8 @@ bool in_cluster(const Injection& inj, std::uint32_t n) {
     case Injection::Kind::kDelay:
     case Injection::Kind::kStale:
       return inj.src.value < n && inj.dst.value < n;
+    case Injection::Kind::kStall:
+      return inj.victim.value < n;
   }
   return false;
 }
@@ -160,6 +166,33 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
         return decision;
       });
 
+  // Storage-fault coordinates: each victim's stable-storage device gets a
+  // hook mapping its device-wide op index onto the schedule's stall
+  // windows. The device (and its op counter) survives crashes — storage is
+  // stable by definition — so the coordinate is stable across re-runs.
+  for (std::uint32_t pid = 0; pid < schedule.n; ++pid) {
+    bool stalls_this_pid = false;
+    for (const Injection& inj : schedule.injections) {
+      if (inj.kind == Injection::Kind::kStall && inj.victim.value == pid) {
+        stalls_this_pid = true;
+        break;
+      }
+    }
+    if (!stalls_this_pid) continue;
+    cluster.node(pid).stable_storage().set_fault_hook(
+        [&st, pid](std::uint64_t op_index) -> Duration {
+          Duration extra = kDurationZero;
+          for (const Injection& inj : st.schedule->injections) {
+            if (inj.kind != Injection::Kind::kStall || inj.victim.value != pid) continue;
+            if (op_index >= inj.index && op_index < inj.index + inj.count) {
+              extra += inj.delay;
+              ++st.applied;
+            }
+          }
+          return extra;
+        });
+  }
+
   cluster.start();
   for (const Injection& inj : schedule.injections) {
     if (inj.kind == Injection::Kind::kCrashAt && in_cluster(inj, schedule.n)) {
@@ -190,50 +223,83 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
   return outcome;
 }
 
-FaultSchedule ScheduleExplorer::shrink(const FaultSchedule& schedule, std::uint32_t budget) {
-  FaultSchedule best = schedule;
-  auto still_fails = [&budget](const FaultSchedule& candidate) {
-    if (budget == 0) return false;
-    --budget;
-    return !run(candidate).ok();
-  };
+namespace {
 
-  // 1. Drop injections one at a time, to a fixpoint: each surviving
-  //    injection is then individually necessary.
-  bool changed = true;
-  while (changed && budget > 0) {
-    changed = false;
-    for (std::size_t i = 0; i < best.injections.size() && budget > 0;) {
+constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+
+/// Index of the first candidate (in the given fixed order) that still
+/// fails, spending the budget exactly as a serial greedy would: one run
+/// per candidate consulted, stopping at the first failure. With jobs > 1
+/// every candidate the budget could reach is evaluated speculatively in
+/// parallel — ScheduleExplorer::run() is a pure function of the schedule,
+/// so the verdicts are the same — but the budget is charged only for the
+/// serial prefix. The shrink trajectory, including where the budget runs
+/// out, is therefore bit-identical for every `jobs` value; speculative
+/// runs past the first failure are simply wasted wall-clock the extra
+/// cores paid for.
+std::size_t first_failing(const std::vector<FaultSchedule>& candidates,
+                          std::uint32_t& budget, unsigned jobs) {
+  if (candidates.empty() || budget == 0) return kNoCandidate;
+  const std::size_t limit = std::min<std::size_t>(candidates.size(), budget);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      --budget;
+      if (!ScheduleExplorer::run(candidates[i]).ok()) return i;
+    }
+    return kNoCandidate;
+  }
+  std::vector<char> fails(limit, 0);
+  exec::parallel_for(jobs, limit, [&](std::size_t i) {
+    fails[i] = ScheduleExplorer::run(candidates[i]).ok() ? 0 : 1;
+  });
+  for (std::size_t i = 0; i < limit; ++i) {
+    --budget;
+    if (fails[i] != 0) return i;
+  }
+  return kNoCandidate;
+}
+
+}  // namespace
+
+FaultSchedule ScheduleExplorer::shrink(const FaultSchedule& schedule, std::uint32_t budget,
+                                       unsigned jobs) {
+  if (jobs == 0) jobs = exec::default_jobs();
+  FaultSchedule best = schedule;
+
+  // 1. Drop injections, to a fixpoint: every removal candidate of the
+  //    current best forms one speculative batch; the first (lowest-index)
+  //    removal that still fails is committed and the batch is rebuilt.
+  //    At the fixpoint each surviving injection is individually necessary.
+  while (budget > 0 && !best.injections.empty()) {
+    std::vector<FaultSchedule> candidates;
+    candidates.reserve(best.injections.size());
+    for (std::size_t i = 0; i < best.injections.size(); ++i) {
       FaultSchedule candidate = best;
       candidate.injections.erase(candidate.injections.begin() +
                                  static_cast<std::ptrdiff_t>(i));
-      if (still_fails(candidate)) {
-        best = std::move(candidate);
-        changed = true;
-      } else {
-        ++i;
-      }
+      candidates.push_back(std::move(candidate));
     }
+    const std::size_t hit = first_failing(candidates, budget, jobs);
+    if (hit == kNoCandidate) break;
+    best = std::move(candidates[hit]);
   }
 
-  // 2. Simplify the survivors: zero (then halve) delays, single-packet
-  //    fault windows.
+  // 2. Simplify the survivors: zero (else halve) delays, single-index
+  //    fault windows. Each decision is a tiny ordered batch — [zeroed,
+  //    halved] — consulted serially, speculated in parallel.
   for (std::size_t i = 0; i < best.injections.size() && budget > 0; ++i) {
     if (best.injections[i].delay > 0) {
-      FaultSchedule candidate = best;
-      candidate.injections[i].delay = 0;
-      if (still_fails(candidate)) {
-        best = std::move(candidate);
-      } else {
-        candidate = best;
-        candidate.injections[i].delay /= 2;
-        if (budget > 0 && still_fails(candidate)) best = std::move(candidate);
-      }
+      std::vector<FaultSchedule> candidates(2, best);
+      candidates[0].injections[i].delay = 0;
+      candidates[1].injections[i].delay /= 2;
+      const std::size_t hit = first_failing(candidates, budget, jobs);
+      if (hit != kNoCandidate) best = std::move(candidates[hit]);
     }
     if (best.injections[i].count > 1 && budget > 0) {
-      FaultSchedule candidate = best;
-      candidate.injections[i].count = 1;
-      if (still_fails(candidate)) best = std::move(candidate);
+      std::vector<FaultSchedule> candidates(1, best);
+      candidates[0].injections[i].count = 1;
+      const std::size_t hit = first_failing(candidates, budget, jobs);
+      if (hit != kNoCandidate) best = std::move(candidates[hit]);
     }
   }
 
@@ -244,10 +310,11 @@ FaultSchedule ScheduleExplorer::shrink(const FaultSchedule& schedule, std::uint3
     candidate.n = std::max(best.f + 2, best.n / 2);
     std::erase_if(candidate.injections,
                   [&](const Injection& inj) { return !in_cluster(inj, candidate.n); });
-    if (candidate.n == best.n || candidate.injections.empty() || !still_fails(candidate)) {
-      break;
-    }
-    best = std::move(candidate);
+    if (candidate.n == best.n || candidate.injections.empty()) break;
+    std::vector<FaultSchedule> candidates{std::move(candidate)};
+    const std::size_t hit = first_failing(candidates, budget, jobs);
+    if (hit == kNoCandidate) break;
+    best = std::move(candidates[hit]);
   }
 
   return best;
@@ -264,12 +331,13 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
     inj.at = at;
     return inj;
   };
-  auto pcrash = [](recovery::PhaseId phase, std::uint32_t k) {
+  auto pcrash = [](recovery::PhaseId phase, std::uint32_t k, Duration delay = kDurationZero) {
     Injection inj;
     inj.kind = Injection::Kind::kPhaseCrash;
     inj.victim = Injection::kFirer;
     inj.phase = phase;
     inj.occurrence = k;
+    inj.delay = delay;
     return inj;
   };
   auto chan = [](Injection::Kind kind, std::uint32_t src, std::uint32_t dst,
@@ -278,6 +346,16 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
     inj.kind = kind;
     inj.src = ProcessId{src};
     inj.dst = ProcessId{dst};
+    inj.index = index;
+    inj.count = count;
+    inj.delay = delay;
+    return inj;
+  };
+  auto sstall = [](std::uint32_t pid, std::uint64_t index, std::uint32_t count,
+                   Duration delay) {
+    Injection inj;
+    inj.kind = Injection::Kind::kStall;
+    inj.victim = ProcessId{pid};
     inj.index = index;
     inj.count = count;
     inj.delay = delay;
@@ -314,69 +392,117 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
     return out;
   }
 
-  const Cell cells[] = {{4, 1}, {4, 2}, {8, 2}};
+  // The sweep grid. Every variant family below applies to each (cell, seed)
+  // coordinate it is legal for (correlated crashes need f >= victims), so
+  // the matrix is cells × seeds × applicable variants: 180 variant rows
+  // across these six cells at 64 seeds each = 11520 schedules.
+  const Cell cells[] = {{4, 1}, {6, 1}, {4, 2}, {6, 2}, {8, 2}, {8, 3}};
   for (const Cell cell : cells) {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       const std::uint32_t a = static_cast<std::uint32_t>(seed % cell.n);
       const std::uint32_t b = (a + 1) % cell.n;
       const std::uint32_t c = (a + 2) % cell.n;
-      for (int variant = 0; variant < 11; ++variant) {
+
+      std::vector<FaultSchedule> variants;
+      // emit(): one variant with the default restart; emit_failover(): the
+      // restart delay stretched past the detector timeout, so the crashed
+      // process stays silent long enough to be suspected and next-ordinal
+      // failover becomes reachable.
+      auto emit = [&](std::vector<Injection> injections) {
         FaultSchedule s;
         s.n = cell.n;
         s.f = cell.f;
         s.seed = seed;
-        switch (variant) {
-          case 0:  // plain crash + recovery
-            s.injections = {crash(a, seconds(2))};
-            break;
-          case 1:  // re-crash at each protocol phase boundary
-            s.injections = {crash(a, seconds(2)),
-                            pcrash(recovery::PhaseId::kLeaderElected, 1)};
-            break;
-          case 2:
-            s.injections = {crash(a, seconds(2)),
-                            pcrash(recovery::PhaseId::kGatherStarted, 1)};
-            break;
-          case 3:
-            s.injections = {crash(a, seconds(2)),
-                            pcrash(recovery::PhaseId::kIncVectorBuilt, 1)};
-            break;
-          case 4:
-            s.injections = {crash(a, seconds(2)),
-                            pcrash(recovery::PhaseId::kDepinfoCollected, 1)};
-            break;
-          case 5:
-            s.injections = {crash(a, seconds(2)),
-                            pcrash(recovery::PhaseId::kReplayStarted, 1)};
-            break;
-          case 6:  // leader failure during a concurrent round (f >= 2), or
-                   // a sequential re-crash after full recovery (f == 1)
-            if (cell.f >= 2) {
-              s.injections = {crash(a, seconds(2)), crash(b, milliseconds(2300)),
-                              pcrash(recovery::PhaseId::kGatherStarted, 1)};
-            } else {
-              s.injections = {crash(a, seconds(2)), crash(a, seconds(5))};
-            }
-            break;
-          case 7:  // payload loss around a crash
-            s.injections = {crash(a, seconds(2)),
-                            chan(Injection::Kind::kDrop, b, c, 2, 3, 0),
-                            chan(Injection::Kind::kDrop, c, b, 1, 2, 0)};
-            break;
-          case 8:  // delay below the detector timeout: no false suspicion
-            s.injections = {crash(a, seconds(2)),
-                            chan(Injection::Kind::kDelay, b, c, 1, 3, milliseconds(400))};
-            break;
-          case 9:  // stale straggler from the crashed incarnation
-            s.injections = {crash(a, seconds(2)),
-                            chan(Injection::Kind::kStale, a, b, 1, 1, seconds(3))};
-            break;
-          case 10:  // fault-free protocol under network noise
-            s.injections = {chan(Injection::Kind::kDrop, b, c, 3, 2, 0),
-                            chan(Injection::Kind::kDelay, c, a, 2, 2, milliseconds(300)),
-                            chan(Injection::Kind::kStale, b, c, 0, 1, milliseconds(2500))};
-            break;
+        s.injections = std::move(injections);
+        variants.push_back(std::move(s));
+      };
+      auto emit_failover = [&](std::vector<Injection> injections) {
+        emit(std::move(injections));
+        variants.back().restart = milliseconds(2500);
+      };
+
+      // --- the original eleven (one crash, phase re-crashes, packet noise)
+      emit({crash(a, seconds(2))});
+      emit({crash(a, seconds(2)), pcrash(recovery::PhaseId::kLeaderElected, 1)});
+      emit({crash(a, seconds(2)), pcrash(recovery::PhaseId::kGatherStarted, 1)});
+      emit({crash(a, seconds(2)), pcrash(recovery::PhaseId::kIncVectorBuilt, 1)});
+      emit({crash(a, seconds(2)), pcrash(recovery::PhaseId::kDepinfoCollected, 1)});
+      emit({crash(a, seconds(2)), pcrash(recovery::PhaseId::kReplayStarted, 1)});
+      if (cell.f >= 2) {  // leader failure during a concurrent round
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2300)),
+              pcrash(recovery::PhaseId::kGatherStarted, 1)});
+      } else {  // sequential re-crash after full recovery
+        emit({crash(a, seconds(2)), crash(a, seconds(5))});
+      }
+      emit({crash(a, seconds(2)), chan(Injection::Kind::kDrop, b, c, 2, 3, 0),
+            chan(Injection::Kind::kDrop, c, b, 1, 2, 0)});
+      emit({crash(a, seconds(2)),
+            chan(Injection::Kind::kDelay, b, c, 1, 3, milliseconds(400))});
+      emit({crash(a, seconds(2)), chan(Injection::Kind::kStale, a, b, 1, 1, seconds(3))});
+      emit({chan(Injection::Kind::kDrop, b, c, 3, 2, 0),
+            chan(Injection::Kind::kDelay, c, a, 2, 2, milliseconds(300)),
+            chan(Injection::Kind::kStale, b, c, 0, 1, milliseconds(2500))});
+
+      // --- delayed phase crashes: the victim dies shortly *after* the
+      // phase boundary, mid-flight inside the follow-on work.
+      for (const recovery::PhaseId phase :
+           {recovery::PhaseId::kGatherStarted, recovery::PhaseId::kReplayStarted}) {
+        for (const Duration d : {milliseconds(10), milliseconds(100)}) {
+          emit({crash(a, seconds(2)), pcrash(phase, 1, d)});
         }
+      }
+
+      // --- cascading leader failovers: kill the leader at each successive
+      // occurrence of the phase, so leadership hops ordinals repeatedly.
+      for (const recovery::PhaseId phase :
+           {recovery::PhaseId::kLeaderElected, recovery::PhaseId::kGatherStarted}) {
+        for (const std::uint32_t depth : {2u, 3u}) {
+          std::vector<Injection> cascade{crash(a, seconds(2))};
+          for (std::uint32_t k = 1; k <= depth; ++k) cascade.push_back(pcrash(phase, k));
+          emit_failover(std::move(cascade));
+        }
+      }
+
+      // --- storage faults: mechanical stalls on the stable-storage device
+      // (retried seeks / remapped blocks), addressed by device op index.
+      emit({crash(a, seconds(2)), sstall(a, 0, 4, milliseconds(200))});
+      emit({sstall(b, 2, 4, milliseconds(100))});
+      emit({crash(a, seconds(2)), sstall(a, 1, 1, milliseconds(1500))});
+      emit({sstall(a, 0, 8, milliseconds(50)), sstall(b, 0, 8, milliseconds(50))});
+
+      // --- crash + noise combos
+      emit({crash(a, seconds(2)), chan(Injection::Kind::kDrop, b, c, 2, 3, 0),
+            chan(Injection::Kind::kStale, a, b, 1, 1, seconds(3))});
+      emit({crash(a, seconds(2)),
+            chan(Injection::Kind::kDelay, b, c, 1, 2, milliseconds(300)),
+            sstall(a, 1, 2, milliseconds(150))});
+
+      if (cell.f >= 2) {
+        // --- correlated multi-node crashes: a rack/power-domain failure
+        // takes two processes down together (or nearly so).
+        for (const Duration gap : {kDurationZero, milliseconds(20), milliseconds(150)}) {
+          emit({crash(a, seconds(2)), crash(b, seconds(2) + gap)});
+        }
+        // --- correlated crash meeting a stalled disk: the recovering pair
+        // contends for a degraded device.
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2300)),
+              sstall(a, 0, 4, milliseconds(200))});
+        emit({crash(a, seconds(2)), crash(b, seconds(2)),
+              sstall(b, 0, 3, milliseconds(300))});
+        // --- correlated crash under packet noise
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2020)),
+              chan(Injection::Kind::kDrop, c, a, 1, 2, 0)});
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2020)),
+              chan(Injection::Kind::kStale, b, c, 1, 1, seconds(3))});
+      }
+      if (cell.f >= 3) {
+        // --- triple correlated crash (needs f >= 3 concurrent tolerance)
+        emit({crash(a, seconds(2)), crash(b, seconds(2)), crash(c, seconds(2))});
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2050)),
+              crash(c, milliseconds(2100))});
+      }
+
+      for (FaultSchedule& s : variants) {
         out.push_back(std::move(s));
         if (options.max_runs != 0 && out.size() >= options.max_runs) return out;
       }
@@ -386,9 +512,15 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
 }
 
 ExploreResult ScheduleExplorer::explore(const ExploreOptions& options) {
+  const std::vector<FaultSchedule> schedules = matrix(options);
+  const unsigned jobs = options.jobs == 0 ? exec::default_jobs() : options.jobs;
+
   ExploreResult result;
-  for (const FaultSchedule& schedule : matrix(options)) {
-    const RunOutcome outcome = run(schedule);
+  // Single consumer: whatever thread a run executed on, its outcome is
+  // accounted here in canonical matrix order, so run counts, injection
+  // totals, on_run callbacks and first-failure selection are bit-identical
+  // to a serial sweep. Returns false once the sweep should stop.
+  auto consume = [&](const FaultSchedule& schedule, const RunOutcome& outcome) {
     ++result.runs;
     result.injections_applied += outcome.injections_applied;
     if (options.on_run) options.on_run(schedule, outcome);
@@ -397,12 +529,58 @@ ExploreResult ScheduleExplorer::explore(const ExploreOptions& options) {
       if (result.failures == 1) {
         result.first_failure = schedule;
         result.first_outcome = outcome;
-        result.shrunk = shrink(schedule, options.shrink_budget);
-        result.shrunk_outcome = run(result.shrunk);
-        result.replay = result.shrunk.replay_line();
       }
-      if (options.stop_on_failure) break;
+      if (options.stop_on_failure) return false;
     }
+    return true;
+  };
+
+  if (jobs <= 1 || schedules.size() <= 1) {
+    for (const FaultSchedule& schedule : schedules) {
+      if (!consume(schedule, run(schedule))) break;
+    }
+  } else {
+    // Work-stealing sweep: one slot per schedule index, filled by whichever
+    // worker drew the index; this thread drains slots in canonical order.
+    // On early stop the pool is cancelled — results already computed past
+    // the stop point are simply discarded (each run is pure, so discarding
+    // cannot change any consumed outcome).
+    struct Slot {
+      RunOutcome outcome;
+      bool ready{false};
+    };
+    std::vector<Slot> slots(schedules.size());
+    std::mutex mu;
+    std::condition_variable cv;
+    exec::WorkStealingPool pool(jobs);
+    pool.run(schedules.size(), [&](std::size_t i) {
+      RunOutcome outcome = run(schedules[i]);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        slots[i].outcome = std::move(outcome);
+        slots[i].ready = true;
+      }
+      cv.notify_all();
+    });
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      RunOutcome outcome;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return slots[i].ready; });
+        outcome = std::move(slots[i].outcome);
+      }
+      if (!consume(schedules[i], outcome)) {
+        pool.cancel();
+        break;
+      }
+    }
+    pool.join();
+  }
+
+  if (result.failures > 0) {
+    result.shrunk = shrink(result.first_failure, options.shrink_budget, jobs);
+    result.shrunk_outcome = run(result.shrunk);
+    result.replay = result.shrunk.replay_line();
   }
   return result;
 }

@@ -14,6 +14,16 @@
 // greedy minimiser that drops injections, halves delays and reduces the
 // cluster, re-running the candidate after every mutation so the result is
 // a *still-failing* minimal repro, printed as a single `--replay` line.
+//
+// With ExploreOptions::jobs > 1 the matrix is swept by a work-stealing
+// pool of fully independent simulation instances (exec::WorkStealingPool;
+// one kernel, RNG stream, metrics registry and span arena per worker).
+// Every run is a pure function of its schedule, so parallelism changes
+// only wall-clock time: outcomes are merged by a single consumer in
+// canonical matrix order, making run counts, on_run callbacks, failure
+// selection, shrink decisions and `--replay` lines bit-identical to a
+// jobs=1 sweep. Shrinking likewise evaluates its fixed-order candidate
+// batches as parallel speculative jobs and applies verdicts serially.
 #pragma once
 
 #include <array>
@@ -56,7 +66,7 @@ struct ExploreOptions {
   /// Truncate the matrix to this many runs (0 = the full matrix).
   std::uint64_t max_runs{0};
   /// Seeds per (n, f) grid cell.
-  std::uint64_t seeds_per_cell{32};
+  std::uint64_t seeds_per_cell{64};
   /// Arm the seeded skip-gather-restart bug in every generated schedule
   /// (and bias the matrix toward concurrent-failure scenarios that expose
   /// it). The explorer must then find, shrink and report a failure.
@@ -64,7 +74,12 @@ struct ExploreOptions {
   bool stop_on_failure{true};
   /// Shrink budget: schedule re-executions the minimiser may spend.
   std::uint32_t shrink_budget{64};
-  /// Progress tap, called after every run.
+  /// Worker threads for the sweep and speculative shrinking. 1 = serial,
+  /// 0 = hardware concurrency. Results are bit-identical for every value;
+  /// only wall-clock time changes.
+  unsigned jobs{1};
+  /// Progress tap, called after every run — always from the calling
+  /// thread, in canonical matrix order, whatever `jobs` is.
   std::function<void(const FaultSchedule&, const RunOutcome&)> on_run;
 };
 
@@ -101,8 +116,15 @@ class ScheduleExplorer {
   /// injection, then halving/zeroing delays, then shrinking the cluster,
   /// keeping every mutation that still fails. Returns the smallest
   /// still-failing schedule found within the re-execution budget.
+  ///
+  /// Candidates are generated in a fixed order; with jobs > 1 each batch
+  /// is evaluated as parallel speculative jobs whose verdicts are applied
+  /// in that fixed order, with the budget charged only for the prefix a
+  /// serial shrink would have consulted — the resulting minimal repro is
+  /// therefore identical for every `jobs` value.
   [[nodiscard]] static FaultSchedule shrink(const FaultSchedule& schedule,
-                                            std::uint32_t budget = 64);
+                                            std::uint32_t budget = 64,
+                                            unsigned jobs = 1);
 
   /// The deterministic schedule matrix explore() runs.
   [[nodiscard]] static std::vector<FaultSchedule> matrix(const ExploreOptions& options);

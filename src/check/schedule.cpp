@@ -78,6 +78,11 @@ std::string to_string(const Injection& inj) {
                     static_cast<unsigned long long>(inj.index),
                     static_cast<long long>(inj.delay));
       break;
+    case Injection::Kind::kStall:
+      std::snprintf(buf, sizeof buf, "sstall:%u@%llux%u+%lld", inj.victim.value,
+                    static_cast<unsigned long long>(inj.index), inj.count,
+                    static_cast<long long>(inj.delay));
+      break;
   }
   return buf;
 }
@@ -127,6 +132,15 @@ bool parse_injection(std::string_view s, Injection& out) {
         !eat_u64(s, inj.index) || !eat(s, "+") || !eat_u64(s, v)) {
       return false;
     }
+    inj.delay = static_cast<Duration>(v);
+  } else if (eat(s, "sstall:")) {
+    inj.kind = Injection::Kind::kStall;
+    if (!eat_pid(s, inj.victim) || !eat(s, "@") || !eat_u64(s, inj.index) ||
+        !eat(s, "x") || !eat_u64(s, v) || v == 0 || v > 0xffffffffULL) {
+      return false;
+    }
+    inj.count = static_cast<std::uint32_t>(v);
+    if (!eat(s, "+") || !eat_u64(s, v) || v == 0) return false;
     inj.delay = static_cast<Duration>(v);
   } else {
     return false;

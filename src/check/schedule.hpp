@@ -27,6 +27,10 @@
 //                                     the channel, delivered <d> after the
 //                                     original send (models the stale
 //                                     straggler incvectors must reject)
+//   sstall:<pid>@<i>x<c>+<d>          stall operations <i>..<i+c-1> of
+//                                     <pid>'s stable-storage device by <d>
+//                                     each (a retried seek / remapped
+//                                     block; queued ops shift behind it)
 //
 // Optional key=value fields besides the cluster shape: `restart=<ns>` sets
 // the supervisor restart delay — stretch it past the failure-detector
@@ -48,7 +52,7 @@ namespace rr::check {
 
 /// One fault, addressable by a coordinate that is stable across re-runs.
 struct Injection {
-  enum class Kind : std::uint8_t { kCrashAt, kPhaseCrash, kDrop, kDelay, kStale };
+  enum class Kind : std::uint8_t { kCrashAt, kPhaseCrash, kDrop, kDelay, kStale, kStall };
 
   /// Wildcard victim for kPhaseCrash: crash whichever process fired the
   /// phase event (printed as "L" — in practice the round leader).
@@ -56,16 +60,16 @@ struct Injection {
 
   Kind kind{Kind::kCrashAt};
 
-  ProcessId victim{0};    ///< kCrashAt / kPhaseCrash (kFirer = event source)
+  ProcessId victim{0};    ///< kCrashAt / kPhaseCrash (kFirer = event source) / kStall
   Time at{0};             ///< kCrashAt: absolute crash time
   recovery::PhaseId phase{recovery::PhaseId::kLeaderElected};  ///< kPhaseCrash
   std::uint32_t occurrence{1};  ///< kPhaseCrash: 1-based k-th global firing
-  Duration delay{0};      ///< kPhaseCrash/kStale/kDelay extra duration
+  Duration delay{0};      ///< kPhaseCrash/kStale/kDelay/kStall extra duration
 
   ProcessId src{0};       ///< kDrop/kDelay/kStale: channel source
   ProcessId dst{0};       ///< kDrop/kDelay/kStale: channel destination
-  std::uint64_t index{0}; ///< first affected send index on the channel
-  std::uint32_t count{1}; ///< kDrop/kDelay: consecutive sends affected
+  std::uint64_t index{0}; ///< first affected send (channel) or op (storage) index
+  std::uint32_t count{1}; ///< kDrop/kDelay/kStall: consecutive indices affected
 
   friend bool operator==(const Injection&, const Injection&) = default;
 };

@@ -1,13 +1,18 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace rr::logging {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-std::function<Time()> g_clock;
+// The level is process-wide (set once at startup, read everywhere) and
+// atomic so concurrent simulation workers read it race-free. The clock is
+// per-thread: each worker in a parallel sweep owns its Simulator, and its
+// log lines must carry *that* simulation's virtual time.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+thread_local std::function<Time()> g_clock;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -23,13 +28,13 @@ const char* level_name(LogLevel l) {
 
 }  // namespace
 
-void set_level(LogLevel level) { g_level = level; }
-LogLevel level() { return g_level; }
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_clock(std::function<Time()> clock) { g_clock = std::move(clock); }
 
 void write(LogLevel level, const char* component, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(g_level.load(std::memory_order_relaxed))) return;
   char body[1024];
   va_list ap;
   va_start(ap, fmt);

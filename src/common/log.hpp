@@ -22,7 +22,9 @@ namespace logging {
 void set_level(LogLevel level);
 [[nodiscard]] LogLevel level();
 
-/// Install a virtual-clock source for prefixes (nullptr to clear).
+/// Install a virtual-clock source for prefixes (nullptr to clear). The
+/// clock is thread-local: each parallel-sweep worker's simulator stamps its
+/// own lines with its own virtual time.
 void set_clock(std::function<Time()> clock);
 
 /// printf-style sink; prefer the RR_LOG_* macros.

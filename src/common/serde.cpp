@@ -27,7 +27,12 @@ T get_le(std::span<const std::byte> b) {
 }  // namespace
 
 BufferPool& BufferPool::global() noexcept {
-  static BufferPool pool;
+  // One pool per thread, not per process: concurrent simulation instances
+  // (the work-stealing schedule explorer, parallel bench sweeps) must never
+  // share a free list. Pooling is capacity-only and invisible to encoded
+  // content, so per-thread pools keep every run bit-identical to a serial
+  // execution while making the hot path lock-free.
+  thread_local BufferPool pool;
   return pool;
 }
 

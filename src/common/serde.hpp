@@ -40,13 +40,16 @@ class SerdeError : public Error {
 /// already-delivered packet.
 ///
 /// The pool is capacity-only: acquire() always returns an *empty* buffer, so
-/// pooling is invisible to encoded content and simulation traces. Not
-/// thread-safe — the simulation is single-threaded by construction.
+/// pooling is invisible to encoded content and simulation traces. Each
+/// instance is single-threaded — a simulation never shares one across
+/// threads; global() hands every thread its own.
 class BufferPool {
  public:
-  /// Process-wide pool. A global (rather than per-Simulator) instance so the
+  /// Thread-wide pool. A global (rather than per-Simulator) instance so the
   /// simulator-free protocol layers (fbl, recovery) share the same free
-  /// list as the network and storage models.
+  /// list as the network and storage models; thread_local (rather than
+  /// process-wide) so concurrent simulation instances — one per worker in
+  /// the parallel schedule explorer — stay fully isolated.
   [[nodiscard]] static BufferPool& global() noexcept;
 
   /// An empty buffer with at least `reserve` capacity when one is pooled

@@ -1,0 +1,93 @@
+#include "exec/work_steal.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::exec {
+
+unsigned default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+WorkStealingPool::WorkStealingPool(unsigned jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs), shards_(jobs_) {}
+
+WorkStealingPool::~WorkStealingPool() { join(); }
+
+void WorkStealingPool::run(std::size_t n, Task body) {
+  RR_CHECK(threads_.empty());  // one-shot
+  body_ = std::move(body);
+  // Round-robin seeding: worker w owns indices w, w+J, w+2J, ... so the
+  // lowest outstanding index is always near some deque's front and the
+  // canonical-order consumer is never starved behind a pile of high indices.
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i % jobs_].queue.push_back(i);
+  }
+  threads_.reserve(jobs_);
+  for (unsigned w = 0; w < jobs_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void WorkStealingPool::cancel() noexcept {
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void WorkStealingPool::join() {
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool WorkStealingPool::next_index(unsigned self, std::size_t& out) {
+  // Own deque, front first: with round-robin seeding each worker walks its
+  // indices in increasing order, so the lowest outstanding index — the one
+  // the canonical-order consumer is blocked on — is always being worked.
+  {
+    Shard& mine = shards_[self];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.queue.empty()) {
+      out = mine.queue.front();
+      mine.queue.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of each victim in turn — the victim's highest,
+  // least-urgent indices — starting after self so thieves spread out
+  // instead of mobbing shard 0.
+  for (unsigned k = 1; k < jobs_; ++k) {
+    Shard& victim = shards_[(self + k) % jobs_];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      out = victim.queue.back();
+      victim.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_loop(unsigned self) {
+  std::size_t index = 0;
+  while (!cancelled_.load(std::memory_order_acquire) && next_index(self, index)) {
+    body_(index);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void parallel_for(unsigned jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  WorkStealingPool pool(jobs);
+  pool.run(n, [&body](std::size_t i) { body(i); });
+  pool.join();
+}
+
+}  // namespace rr::exec

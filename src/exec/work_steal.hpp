@@ -1,0 +1,94 @@
+// Work-stealing execution pool for embarrassingly parallel sweeps.
+//
+// The deterministic machinery (rrcheck's schedule explorer, the T/F-series
+// bench sweeps) is a set of *fully independent* simulation instances: one
+// kernel, RNG stream, metrics registry and span arena per run, zero shared
+// mutable state on the hot path (BufferPool and the logging clock are
+// thread-local — see common/serde.hpp, common/log.cpp). The pool's only job
+// is to hand out task indices: per-worker deques are seeded round-robin so
+// low indices finish early (the consumer merges results in canonical index
+// order), each worker pops from its own deque bottom and steals from the
+// top of a victim's when it runs dry. Deques are sharded-mutex rather than
+// lock-free: one lock acquisition per multi-millisecond simulation is
+// noise, and the simple structure is trivially ASan/TSan-clean.
+//
+// Determinism contract: the pool never influences *what* a task computes —
+// tasks must be pure functions of their index — only *when* it runs.
+// Callers that need ordered output (sweep reports, --replay lines) consume
+// a result slot per index in canonical order; see check/explorer.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rr::exec {
+
+/// Worker threads to use when the caller does not say: the hardware
+/// concurrency, at least 1.
+[[nodiscard]] unsigned default_jobs() noexcept;
+
+/// One-shot pool: construct, run(), optionally cancel(), then join().
+/// run() returns immediately; the caller thread is free to consume results
+/// while workers drain the deques.
+class WorkStealingPool {
+ public:
+  /// body(index) — must be safe to call concurrently for distinct indices.
+  using Task = std::function<void(std::size_t index)>;
+
+  explicit WorkStealingPool(unsigned jobs);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Seed indices [0, n) round-robin across the worker deques and start the
+  /// workers. May be called once per pool instance.
+  void run(std::size_t n, Task body);
+
+  /// Stop dispensing: indices not yet started will never run. In-flight
+  /// tasks complete normally (a simulation is never torn down mid-run).
+  void cancel() noexcept;
+
+  /// Block until every worker has drained (or been cancelled) and exited.
+  /// Idempotent; the destructor calls it.
+  void join();
+
+  /// Tasks actually executed (stable only after join()).
+  [[nodiscard]] std::size_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::size_t> queue;  // owner pops front, thieves pop back
+  };
+
+  /// Pop from own shard, else steal; false when all shards are empty.
+  bool next_index(unsigned self, std::size_t& out);
+  void worker_loop(unsigned self);
+
+  unsigned jobs_;
+  Task body_;
+  std::vector<Shard> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> executed_{0};
+  std::atomic<bool> cancelled_{false};
+  bool joined_{false};
+};
+
+/// Blocking helper: run body(i) for every i in [0, n) across `jobs`
+/// workers (work-stealing), returning once all have completed. With
+/// jobs <= 1 runs inline on the caller thread — bit-identical results
+/// either way when `body` is a pure function of its index.
+void parallel_for(unsigned jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rr::exec

@@ -1,0 +1,36 @@
+#include "harness/parallel.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exec/work_steal.hpp"
+
+namespace rr::harness {
+
+std::vector<ScenarioResult> run_scenarios(const std::vector<ScenarioConfig>& configs,
+                                          unsigned jobs) {
+  std::vector<ScenarioResult> results(configs.size());
+  exec::parallel_for(jobs, configs.size(),
+                     [&](std::size_t i) { results[i] = run_scenario(configs[i]); });
+  return results;
+}
+
+unsigned bench_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    }
+    if (value != nullptr) {
+      const unsigned jobs = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+      return jobs == 0 ? exec::default_jobs() : jobs;
+    }
+  }
+  return 1;
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,29 @@
+// Parallel scenario execution for the bench runners.
+//
+// A scenario run is a pure function of its ScenarioConfig (the simulation
+// kernel, RNG streams, metrics registry and span arena all live inside the
+// per-run Cluster), so a sweep of independent configs can be fanned out on
+// the work-stealing pool with results collected back in input order —
+// tables, BENCHJSON marker lines and error checks printed afterwards are
+// bit-identical to a serial run; only wall-clock time changes.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace rr::harness {
+
+/// Run every config as a fully independent simulation instance on a
+/// work-stealing pool of `jobs` threads (<= 1 runs inline, 0 = hardware
+/// concurrency). results[i] always corresponds to configs[i].
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs, unsigned jobs = 1);
+
+/// Parse the bench runners' shared `--jobs N` / `--jobs=N` flag from the
+/// raw argv. Absent = 1 (serial, the historical behaviour); an explicit 0
+/// = hardware concurrency. Unknown arguments are ignored — each bench owns
+/// the rest of its command line.
+[[nodiscard]] unsigned bench_jobs(int argc, char** argv);
+
+}  // namespace rr::harness

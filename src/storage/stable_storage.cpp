@@ -16,9 +16,16 @@ StableStorage::StableStorage(sim::Simulator& sim, StorageConfig config,
 }
 
 Time StableStorage::reserve(Duration transfer) {
+  // Fault tap: each issued op consumes one device-wide index; a hit extends
+  // the op's occupancy (a mechanical stall), pushing every queued op behind
+  // it — exactly how a serial device degrades.
+  Duration stall = kDurationZero;
+  if (fault_hook_) stall = fault_hook_(ops_issued_);
+  ++ops_issued_;
+  if (stall > 0) metrics_.counter(prefix_ + ".stalls_injected").add();
   // Serial device: the new operation starts when the queue drains.
   const Time start = std::max(sim_.now(), busy_until_);
-  busy_until_ = start + config_.seek_latency + transfer;
+  busy_until_ = start + config_.seek_latency + stall + transfer;
   metrics_.accum(prefix_ + ".op_latency_ns").record_duration(busy_until_ - sim_.now());
   return busy_until_;
 }

@@ -43,6 +43,14 @@ class StableStorage {
   using WriteCallback = std::function<void()>;
   using ReadCallback = std::function<void(std::optional<Bytes>)>;
 
+  /// Fault-injection tap: called once per issued operation (write, read or
+  /// erase, in issue order) with the device-wide operation index; the
+  /// returned duration is added to the operation's device occupancy — a
+  /// mechanical stall (retried seek, remapped block, bus contention). Zero
+  /// means unaffected. Deterministic replay relies on the hook being a pure
+  /// function of the index.
+  using FaultHook = std::function<Duration(std::uint64_t op_index)>;
+
   StableStorage(sim::Simulator& sim, StorageConfig config, metrics::Registry& metrics,
                 std::string metric_prefix = "storage");
 
@@ -73,6 +81,13 @@ class StableStorage {
     tracer_node_ = node;
   }
 
+  /// Install (or clear, with nullptr) the per-operation fault hook used by
+  /// the schedule explorer's storage-fault coordinates.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Operations issued so far (the next op gets this index).
+  [[nodiscard]] std::uint64_t ops_issued() const noexcept { return ops_issued_; }
+
   /// Time at which the device drains all currently queued work.
   [[nodiscard]] Time busy_until() const noexcept { return busy_until_; }
 
@@ -93,7 +108,8 @@ class StableStorage {
     ReadCallback read_done;
   };
 
-  /// Reserve a device slot of length `transfer`; returns completion time.
+  /// Reserve a device slot of length `transfer` (+ any injected stall for
+  /// this op index); returns completion time.
   Time reserve(Duration transfer);
   /// Apply the oldest queued op to the medium and run its callback.
   void complete_front();
@@ -104,6 +120,8 @@ class StableStorage {
   std::string prefix_;
   std::map<std::string, Bytes> blocks_;
   std::deque<PendingOp> queue_;
+  FaultHook fault_hook_;
+  std::uint64_t ops_issued_{0};
   Time busy_until_{kTimeZero};
   obs::SpanTracer* tracer_{nullptr};
   std::uint32_t tracer_node_{0};

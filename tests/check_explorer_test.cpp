@@ -41,6 +41,8 @@ TEST(FaultScheduleTest, InjectionGrammarRoundTrips) {
       "drop:0-1@4x3",
       "delay:2-3@7x2+400000000",
       "stale:1-2@5+3000000000",
+      "sstall:1@2x3+150000000",
+      "sstall:0@0x1+40000000",
   };
   for (const char* line : lines) {
     Injection inj;
@@ -198,9 +200,26 @@ TEST(ScheduleExplorerTest, SeededBugIsCaughtShrunkAndReplayable) {
   EXPECT_TRUE(ScheduleExplorer::run(healthy).ok());
 }
 
-TEST(ScheduleExplorerTest, MatrixCoversAtLeastAThousandSchedules) {
+TEST(ScheduleExplorerTest, MatrixCoversAtLeastTenThousandSchedules) {
   const auto schedules = ScheduleExplorer::matrix(check::ExploreOptions{});
-  EXPECT_GE(schedules.size(), 1000u);
+  EXPECT_GE(schedules.size(), 10000u);
+  // The grown matrix must exercise the new fault coordinates: correlated
+  // multi-node crashes (two crash injections in one schedule), cascading
+  // leader failovers (pcrash depth >= 2) and storage stalls.
+  std::size_t correlated = 0, cascading = 0, storage = 0;
+  for (const auto& s : schedules) {
+    std::size_t crashes = 0, failovers = 0;
+    for (const auto& inj : s.injections) {
+      if (inj.kind == Injection::Kind::kCrashAt) ++crashes;
+      if (inj.kind == Injection::Kind::kPhaseCrash) ++failovers;
+      if (inj.kind == Injection::Kind::kStall) ++storage;
+    }
+    if (crashes >= 2) ++correlated;
+    if (failovers >= 2) ++cascading;
+  }
+  EXPECT_GT(correlated, 0u);
+  EXPECT_GT(cascading, 0u);
+  EXPECT_GT(storage, 0u);
   // Every generated schedule round-trips through its replay line.
   for (std::size_t i = 0; i < schedules.size(); i += 97) {
     FaultSchedule parsed;

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Run the benchmark suites and record BENCH_kernel.json + BENCH_recovery.json.
+"""Run the benchmark suites and record BENCH_kernel.json + BENCH_recovery.json
++ BENCH_explore.json.
 
 Runs bench_micro_sim and bench_micro_serde with --benchmark_format=json and
 writes a merged report at the repo root, so the kernel's performance
@@ -9,20 +10,32 @@ numbers as the "baseline"; later runs keep that baseline and refresh
 
 Also runs the T-series recovery benches (bench_t1..bench_t3) and scrapes
 their "BENCHJSON {...}" marker lines — the span tracer's per-phase
-p50/p95/max latency breakdown — into BENCH_recovery.json.
+p50/p95/max latency breakdown — into BENCH_recovery.json. The T-series
+benches fan their scenario sweeps out on the work-stealing pool; pass
+--jobs N to time them parallel (their output is identical either way).
+
+BENCH_explore.json times a truncated rrcheck --sweep serially and on the
+work-stealing pool (schedules/sec, wall-clock speedup), verifies the two
+stdout reports are byte-identical, and records the job count plus the
+machine's hardware concurrency — the speedup number is meaningless without
+knowing how many cores the box actually had.
 
 Usage:
   tools/bench_report.py [--build-dir build] [--out BENCH_kernel.json]
                         [--recovery-out BENCH_recovery.json]
+                        [--explore-out BENCH_explore.json]
+                        [--jobs N] [--explore-runs N]
                         [--filter REGEX] [--baseline-from FILE]
-                        [--skip-kernel] [--skip-recovery]
+                        [--skip-kernel] [--skip-recovery] [--skip-explore]
 """
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import time
 
 SUITES = ("bench_micro_sim", "bench_micro_serde")
 RECOVERY_SUITES = (
@@ -61,31 +74,97 @@ def run_suite(binary: pathlib.Path, bench_filter: str | None) -> list[dict]:
     return rows
 
 
-def scrape_benchjson(binary: pathlib.Path) -> list[dict]:
+def scrape_benchjson(binary: pathlib.Path, jobs: int) -> tuple[list[dict], float]:
     """Collect the BENCHJSON marker lines a T-series bench prints."""
-    out = subprocess.run([str(binary)], check=True, capture_output=True, text=True)
+    start = time.monotonic()
+    out = subprocess.run(
+        [str(binary), "--jobs", str(jobs)], check=True, capture_output=True, text=True
+    )
+    elapsed = time.monotonic() - start
     rows = []
     for line in out.stdout.splitlines():
         if line.startswith("BENCHJSON "):
             rows.append(json.loads(line[len("BENCHJSON "):]))
-    return rows
+    return rows, elapsed
 
 
-def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path) -> int:
+def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int) -> int:
     benches: dict[str, dict] = {}
+    wall_clock: dict[str, float] = {}
     for suite in RECOVERY_SUITES:
         binary = build / "bench" / suite
         if not binary.exists():
             print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
             return 1
-        print(f"running {suite} ...", file=sys.stderr)
-        for row in scrape_benchjson(binary):
+        print(f"running {suite} (--jobs {jobs}) ...", file=sys.stderr)
+        rows, elapsed = scrape_benchjson(binary, jobs)
+        wall_clock[suite] = round(elapsed, 3)
+        for row in rows:
             bench = benches.setdefault(row["bench"], {"suite": suite, "algorithms": {}})
             bench["algorithms"][row["algorithm"]] = row["phases"]
-    report = {"schema": 1, "unit": "ms", "benches": benches}
+    report = {
+        "schema": 2,
+        "unit": "ms",
+        "jobs": jobs,
+        "hardware_concurrency": os.cpu_count(),
+        "suite_wall_clock_s": wall_clock,
+        "benches": benches,
+    }
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)
     return 0
+
+
+def time_sweep(rrcheck: pathlib.Path, jobs: int, runs: int) -> tuple[str, float]:
+    """One truncated sweep; returns (stdout, wall-clock seconds)."""
+    cmd = [
+        str(rrcheck), "--sweep", "--max-runs", str(runs), "--seeds", "2",
+        "--keep-going", "--jobs", str(jobs),
+    ]
+    start = time.monotonic()
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return out.stdout, time.monotonic() - start
+
+
+def write_explore_report(
+    build: pathlib.Path, out_path: pathlib.Path, jobs: int, runs: int
+) -> int:
+    rrcheck = build / "tools" / "rrcheck"
+    if not rrcheck.exists():
+        print(f"error: {rrcheck} not built (cmake --build {build})", file=sys.stderr)
+        return 1
+    matrix = subprocess.run(
+        [str(rrcheck), "--list"], check=True, capture_output=True, text=True
+    )
+    matrix_size = len(matrix.stdout.splitlines())
+    print(f"timing rrcheck --sweep --max-runs {runs}: serial ...", file=sys.stderr)
+    serial_out, serial_s = time_sweep(rrcheck, 1, runs)
+    print(f"timing rrcheck --sweep --max-runs {runs}: --jobs {jobs} ...", file=sys.stderr)
+    parallel_out, parallel_s = time_sweep(rrcheck, jobs, runs)
+    identical = serial_out == parallel_out
+    if not identical:
+        print("error: parallel sweep report differs from serial", file=sys.stderr)
+    report = {
+        "schema": 1,
+        "matrix_schedules": matrix_size,
+        "runs_timed": runs,
+        "jobs": jobs,
+        "hardware_concurrency": os.cpu_count(),
+        "reports_byte_identical": identical,
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "schedules_per_sec": round(runs / serial_s, 3),
+        },
+        "parallel": {
+            "seconds": round(parallel_s, 3),
+            "schedules_per_sec": round(runs / parallel_s, 3),
+        },
+        "speedup": round(serial_s / parallel_s, 3),
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} (speedup {report['speedup']}x at --jobs {jobs} "
+          f"on {report['hardware_concurrency']} hw thread(s))", file=sys.stderr)
+    return 0 if identical else 1
 
 
 def main() -> int:
@@ -94,9 +173,23 @@ def main() -> int:
     ap.add_argument("--build-dir", default=str(repo_root / "build"))
     ap.add_argument("--out", default=str(repo_root / "BENCH_kernel.json"))
     ap.add_argument("--recovery-out", default=str(repo_root / "BENCH_recovery.json"))
+    ap.add_argument("--explore-out", default=str(repo_root / "BENCH_explore.json"))
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker threads for the parallel timings (default: hw concurrency)",
+    )
+    ap.add_argument(
+        "--explore-runs",
+        type=int,
+        default=12,
+        help="schedules to time the rrcheck sweep over (default 12)",
+    )
     ap.add_argument("--filter", default=None, help="benchmark name regex")
     ap.add_argument("--skip-kernel", action="store_true")
     ap.add_argument("--skip-recovery", action="store_true")
+    ap.add_argument("--skip-explore", action="store_true")
     ap.add_argument(
         "--baseline-from",
         default=None,
@@ -108,7 +201,13 @@ def main() -> int:
     out_path = pathlib.Path(args.out)
 
     if not args.skip_recovery:
-        rc = write_recovery_report(build, pathlib.Path(args.recovery_out))
+        rc = write_recovery_report(build, pathlib.Path(args.recovery_out), args.jobs)
+        if rc != 0:
+            return rc
+    if not args.skip_explore:
+        rc = write_explore_report(
+            build, pathlib.Path(args.explore_out), args.jobs, args.explore_runs
+        )
         if rc != 0:
             return rc
     if args.skip_kernel:
@@ -142,8 +241,12 @@ def main() -> int:
             }
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "suites": list(SUITES),
+        # The micro suites are single-threaded by design; jobs is recorded so
+        # numbers taken alongside a parallel sweep are attributable.
+        "jobs": args.jobs,
+        "hardware_concurrency": os.cpu_count(),
         "key_benchmarks": speedups,
         "baseline": baseline or current,
         "current": current,

@@ -10,7 +10,9 @@
 //
 // Examples:
 //   rrcheck --smoke                 bounded 64-schedule sweep (tier-1 CI)
-//   rrcheck --sweep                 the full matrix (>= 1000 schedules)
+//   rrcheck --sweep --jobs 8        the full matrix (>= 10000 schedules) on a
+//                                   work-stealing pool of 8 sim instances;
+//                                   reports are byte-identical to --jobs 1
 //   rrcheck --seed-bug              arm the seeded skip-gather-restart bug;
 //                                   succeeds iff it is caught and shrunk
 //   rrcheck --replay seed=7,n=4,f=2,alg=nonblocking,schedule=crash:1@2000000000
@@ -22,6 +24,7 @@
 
 #include "check/explorer.hpp"
 #include "common/log.hpp"
+#include "exec/work_steal.hpp"
 
 using namespace rr;
 
@@ -31,13 +34,17 @@ namespace {
   std::printf(
       "rrcheck — deterministic fault-schedule explorer\n\n"
       "  --smoke              bounded sweep (64 schedules; CI tier-1 target)\n"
-      "  --sweep              full schedule matrix (>= 1000 runs)\n"
+      "  --sweep              full schedule matrix (>= 10000 runs)\n"
       "  --seed-bug           arm the seeded skip-gather-restart protocol bug;\n"
       "                       exit 0 iff the explorer catches and shrinks it\n"
       "  --replay LINE        re-execute one schedule (the format printed on\n"
       "                       failure); exit 0 iff the run passes V1-V8\n"
       "  --list               print the matrix schedules without running\n"
-      "  --seeds N            seeds per grid cell (default 32)\n"
+      "  --seeds N            seeds per grid cell (default 64)\n"
+      "  --jobs N             worker threads for --sweep/--smoke/--seed-bug\n"
+      "                       (default: hardware concurrency; 1 = serial).\n"
+      "                       Reports and --replay lines are byte-identical\n"
+      "                       for every N\n"
       "  --max-runs N         truncate the matrix to N schedules\n"
       "  --keep-going         do not stop at the first failure\n"
       "  --verbose            one line per run\n"
@@ -52,7 +59,8 @@ namespace {
 struct Options {
   enum class Mode { kSmoke, kSweep, kSeedBug, kReplay, kList } mode{Mode::kSmoke};
   std::string replay_line;
-  std::uint64_t seeds = 32;
+  std::uint64_t seeds = 64;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   std::uint64_t max_runs = 0;
   bool keep_going = false;
   bool verbose = false;
@@ -92,6 +100,8 @@ Options parse_args(int argc, char** argv) {
       mode_set = true;
     } else if (arg == "--seeds") {
       opt.seeds = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
     } else if (arg == "--max-runs") {
       opt.max_runs = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--keep-going") {
@@ -170,6 +180,7 @@ int run_explore(const Options& opt) {
   eo.max_runs = opt.max_runs;
   eo.stop_on_failure = !opt.keep_going;
   eo.seed_bug = opt.mode == Options::Mode::kSeedBug;
+  eo.jobs = opt.jobs;
   if (opt.mode == Options::Mode::kSmoke && eo.max_runs == 0) eo.max_runs = 64;
 
   if (opt.mode == Options::Mode::kList) {
@@ -192,6 +203,10 @@ int run_explore(const Options& opt) {
     }
   };
 
+  // Worker count goes to stderr so sweep reports on stdout stay
+  // byte-identical across --jobs values (that identity is CI-enforced).
+  std::fprintf(stderr, "rrcheck: %u worker(s)\n",
+               eo.jobs == 0 ? rr::exec::default_jobs() : eo.jobs);
   const check::ExploreResult result = check::ScheduleExplorer::explore(eo);
   std::printf("explored %llu schedules, %llu injections applied, %llu failures\n",
               static_cast<unsigned long long>(result.runs),
