@@ -1,0 +1,105 @@
+// Experiment F5b (robustness) — recovery over a lossy fabric.
+//
+// The paper's non-intrusiveness numbers were taken on a perfect FIFO ATM
+// LAN. This sweep degrades every link with a per-packet loss probability,
+// routes protocol traffic through the reliable transport, and crosses the
+// loss rate with the failure-detector timeout. Two things must hold for
+// the paper's argument to survive an unreliable fabric: recovery latency
+// stays dominated by detection + storage (the retransmission tax is paid
+// in the background), and — the thesis — live processes stay unblocked
+// while the transport absorbs the loss. The run fails (exit 1) if any
+// lossy cell blocks a live process for more than 1 ms.
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
+#include "harness/table.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+int main(int argc, char** argv) {
+  const unsigned jobs = harness::bench_jobs(argc, argv);
+  std::printf("F5b: loss rate x detector timeout (one crash, n = 8, nonblocking)\n");
+
+  struct Cell {
+    double loss;
+    std::int64_t timeout_ms;
+  };
+  std::vector<Cell> cells;
+  std::vector<ScenarioConfig> configs;
+  for (const double loss : {0.0, 0.001, 0.01, 0.05}) {
+    for (const std::int64_t to_ms : {1000ll, 3000ll}) {
+      ScenarioConfig sc;
+      sc.cluster = PaperSetup::testbed(Algorithm::kNonBlocking);
+      sc.cluster.detector.timeout = milliseconds(to_ms);
+      if (loss > 0.0) {
+        sc.cluster.net.faults.loss = loss;
+        sc.cluster.transport.enabled = true;
+      }
+      sc.factory = PaperSetup::workload();
+      sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
+      sc.horizon = PaperSetup::kHorizon;
+      cells.push_back({loss, to_ms});
+      configs.push_back(std::move(sc));
+    }
+  }
+  const auto results = harness::run_scenarios(configs, jobs);
+
+  Table table("F5b — lossy-link sweep (reliable transport on when loss > 0)",
+              {"loss", "det timeout", "detect", "recovery total", "rexmits", "rexmit KiB",
+               "loss drops", "live blocked (mean)"});
+  bool degraded_gracefully = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.recoveries.size() != 1) {
+      std::fprintf(stderr, "unexpected recovery count at loss=%g\n", cells[i].loss);
+      return 1;
+    }
+    const auto& t = r.recoveries[0];
+    const std::uint64_t rexmits = r.counter("net.retransmit");
+    const std::uint64_t rexmit_bytes = r.counter("net.retransmit_bytes");
+    const std::uint64_t loss_drops = r.counter("net.drop.loss");
+    const Duration live = r.mean_live_blocked(configs[i].crashes);
+    table.add_row({Table::num(cells[i].loss * 100.0, 2) + " %",
+                   format_duration(milliseconds(cells[i].timeout_ms)), Table::ms(t.detect()),
+                   Table::secs(t.total()), Table::integer(rexmits),
+                   Table::num(static_cast<double>(rexmit_bytes) / 1024.0, 1),
+                   Table::integer(loss_drops), Table::ms(live)});
+    std::printf(
+        "BENCHJSON {\"bench\":\"f5_loss\",\"algorithm\":\"nonblocking\","
+        "\"loss_ppm\":%llu,\"detector_timeout_ms\":%lld,"
+        "\"recovery_total_ms\":%.3f,\"detect_ms\":%.3f,"
+        "\"retransmits\":%llu,\"retransmit_bytes\":%llu,\"loss_drops\":%llu,"
+        "\"live_blocked_ms\":%.3f}\n",
+        static_cast<unsigned long long>(cells[i].loss * 1e6 + 0.5),
+        static_cast<long long>(cells[i].timeout_ms),
+        static_cast<double>(t.total()) / 1e6, static_cast<double>(t.detect()) / 1e6,
+        static_cast<unsigned long long>(rexmits),
+        static_cast<unsigned long long>(rexmit_bytes),
+        static_cast<unsigned long long>(loss_drops), static_cast<double>(live) / 1e6);
+    // The acceptance gate: loss must cost retransmissions, never blocking.
+    if (cells[i].loss > 0.0 && live > milliseconds(1)) {
+      std::fprintf(stderr, "FAIL: live processes blocked %lld ns at loss=%g\n",
+                   static_cast<long long>(live), cells[i].loss);
+      degraded_gracefully = false;
+    }
+    if (cells[i].loss > 0.0 && rexmits == 0) {
+      std::fprintf(stderr, "FAIL: no retransmissions recorded at loss=%g — is the "
+                           "transport actually on the path?\n",
+                   cells[i].loss);
+      degraded_gracefully = false;
+    }
+  }
+  table.print();
+
+  std::printf("\nShape: loss inflates the retransmit columns and (mildly) the gather\n"
+              "phase, but detection + restore still dominate recovery latency and the\n"
+              "live processes never block — the transport degrades gracefully instead\n"
+              "of stalling the cluster, extending the paper's argument to lossy links.\n");
+  return degraded_gracefully ? 0 : 1;
+}

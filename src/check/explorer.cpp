@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <utility>
 
 #include "app/workloads.hpp"
+#include "common/hash.hpp"
+#include "common/serde.hpp"
 #include "exec/work_steal.hpp"
 #include "fbl/frame.hpp"
+#include "net/reliable.hpp"
 #include "obs/perfetto.hpp"
 #include "runtime/cluster.hpp"
 
@@ -41,6 +45,17 @@ runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
   cfg.recovery.bug_skip_gather_restart = s.seeded_bug;
   cfg.enable_trace = true;  // the checker needs the full structured history
   cfg.enable_spans = true;  // failure reports carry a flight-recorder dump
+  if (s.needs_reliable()) {
+    // Lossy/partitioned schedules run over the reliable transport, retuned
+    // to the compressed timescale: escalation to peer-unreachable lands at
+    // roughly the failure-detector timeout (~1.1 s of backoff vs 1 s).
+    cfg.transport.enabled = true;
+    cfg.transport.rto_initial = milliseconds(20);
+    cfg.transport.rto_max = milliseconds(500);
+    cfg.transport.rto_jitter = milliseconds(2);
+    cfg.transport.max_retries = 6;
+    cfg.transport.probe_period = milliseconds(200);
+  }
   return cfg;
 }
 
@@ -54,10 +69,46 @@ app::AppFactory explorer_workload() {
   };
 }
 
+/// View of the fbl frame inside a wire payload. With the reliable transport
+/// enabled, protocol frames travel behind its data header — injections that
+/// target *application* frames must look through it, or their coordinates
+/// would silently stop matching on lossy schedules. Empty when the payload
+/// is a transport ack or malformed.
+std::span<const std::byte> frame_view(const Bytes& payload) {
+  if (payload.empty()) return {};
+  if (std::to_integer<std::uint8_t>(payload[0]) != net::ReliableTransport::kDataByte) {
+    return {payload.data(), payload.size()};
+  }
+  try {
+    BufReader r(payload);
+    (void)r.u8();      // data marker
+    (void)r.u32();     // epoch
+    (void)r.varint();  // stream
+    (void)r.varint();  // seq
+    return r.raw(r.remaining());
+  } catch (const SerdeError&) {
+    return {};
+  }
+}
+
 bool is_app_frame(const Bytes& payload) {
-  return !payload.empty() &&
-         std::to_integer<std::uint8_t>(payload[0]) ==
+  const auto frame = frame_view(payload);
+  return !frame.empty() &&
+         std::to_integer<std::uint8_t>(frame[0]) ==
              static_cast<std::uint8_t>(fbl::FrameKind::kApp);
+}
+
+/// Stateless loss draw for `loss:` coordinates: a pure function of the
+/// schedule seed and the send's channel coordinate, so the verdict is
+/// bit-identical across --jobs values and re-runs.
+bool loss_draw(std::uint64_t seed, ProcessId src, ProcessId dst, std::uint64_t chan_index,
+               std::uint64_t ppm) {
+  Hasher h;
+  h.mix_u64(0x73636865646c6f73ULL);  // domain tag: "schedlos"
+  h.mix_u64(seed);
+  h.mix_u64((static_cast<std::uint64_t>(src.value) << 32) | dst.value);
+  h.mix_u64(chan_index);
+  return h.digest() % 1'000'000 < ppm;
 }
 
 /// Injections that name processes outside the cluster are ignored (this is
@@ -71,8 +122,13 @@ bool in_cluster(const Injection& inj, std::uint32_t n) {
     case Injection::Kind::kDrop:
     case Injection::Kind::kDelay:
     case Injection::Kind::kStale:
+    case Injection::Kind::kLoss:
+    case Injection::Kind::kLossBurst:
+    case Injection::Kind::kDup:
       return inj.src.value < n && inj.dst.value < n;
     case Injection::Kind::kStall:
+    case Injection::Kind::kPartition:
+    case Injection::Kind::kFlap:
       return inj.victim.value < n;
   }
   return false;
@@ -152,10 +208,40 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
               // Duplicate this app frame out of band: the copy arrives
               // after `delay`, typically after its sender has crashed and
               // recovered — exactly the straggler incvectors must reject.
+              // The *inner* frame is injected, stripped of any reliable-
+              // transport header: the straggler models a late network
+              // duplicate the transport no longer remembers, and must reach
+              // the protocol layer rather than die in sequence dedup.
               if (chan_index == inj.index && is_app_frame(payload)) {
+                st.cluster->network().inject(
+                    src, dst, BufferPool::global().copy_of(frame_view(payload)),
+                    inj.delay);
+                ++st.applied;
+              }
+              break;
+            case Injection::Kind::kLoss:
+              // Probabilistic link loss, every frame kind — the reliable
+              // transport (auto-enabled for this schedule) must recover.
+              if (loss_draw(sched.seed, src, dst, chan_index, inj.index)) {
+                decision.drop = true;
+                ++st.applied;
+              }
+              break;
+            case Injection::Kind::kLossBurst:
+              // A dead interval: sends i..i+c-1 all die, any frame kind.
+              if (chan_index >= inj.index && chan_index < inj.index + inj.count) {
+                decision.drop = true;
+                ++st.applied;
+              }
+              break;
+            case Injection::Kind::kDup:
+              // In-band duplicate: the copy carries the same transport
+              // header, so receive-side dedup must suppress it (counted in
+              // net.dup_suppressed; V9 fails if it reaches the app twice).
+              if (chan_index >= inj.index && chan_index < inj.index + inj.count) {
                 st.cluster->network().inject(src, dst,
                                              BufferPool::global().copy_of(payload),
-                                             inj.delay);
+                                             milliseconds(1));
                 ++st.applied;
               }
               break;
@@ -195,9 +281,28 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
 
   cluster.start();
   for (const Injection& inj : schedule.injections) {
-    if (inj.kind == Injection::Kind::kCrashAt && in_cluster(inj, schedule.n)) {
+    if (!in_cluster(inj, schedule.n)) continue;
+    if (inj.kind == Injection::Kind::kCrashAt) {
       cluster.crash_at(inj.victim, inj.at);
       ++st.applied;
+    } else if (inj.kind == Injection::Kind::kPartition ||
+               inj.kind == Injection::Kind::kFlap) {
+      // Partition windows are virtual-time driven: [at, at+delay) isolated,
+      // repeated count times for flaps with a healed window of the same
+      // length between cycles. Each toggle counts as one applied injection.
+      const std::uint32_t cycles = inj.kind == Injection::Kind::kFlap ? inj.count : 1;
+      const ProcessId victim = inj.victim;
+      for (std::uint32_t k = 0; k < cycles; ++k) {
+        const Time down_at = inj.at + static_cast<Duration>(2 * k) * inj.delay;
+        cluster.sim().schedule_at(down_at, [&st, victim] {
+          st.cluster->network().set_partitioned(victim, true);
+          ++st.applied;
+        });
+        cluster.sim().schedule_at(down_at + inj.delay, [&st, victim] {
+          st.cluster->network().set_partitioned(victim, false);
+          ++st.applied;
+        });
+      }
     }
   }
 
@@ -209,6 +314,32 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
   RunOutcome outcome;
   outcome.terminated = cluster.all_idle();
   outcome.check = cluster.check_history();
+  if (schedule.needs_reliable() && outcome.terminated) {
+    // V9, transport layer: for every channel whose endpoints agree on the
+    // (epoch, stream) coordinate and whose receiver accepted the stream
+    // from its first frame (baseline 0 — the exactly-once domain), every
+    // message the sender saw acked must have been delivered. The history
+    // checker's V9 pass covers the no-duplicate half per delivery record.
+    for (const ProcessId s : cluster.pids()) {
+      for (const ProcessId d : cluster.pids()) {
+        if (s == d) continue;
+        const auto sa = cluster.node(s).transport().send_audit(d);
+        const auto ra = cluster.node(d).transport().recv_audit(s);
+        if (!sa.exists || !ra.exists) continue;
+        if (sa.epoch != ra.epoch || sa.stream != ra.stream) continue;
+        if (ra.baseline_or_outstanding != 0) continue;  // resynced mid-stream
+        if (ra.progress < sa.progress) {
+          outcome.check.ok = false;
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "V9: transport audit: %u->%u acked %llu but delivered %llu",
+                        s.value, d.value, static_cast<unsigned long long>(sa.progress),
+                        static_cast<unsigned long long>(ra.progress));
+          outcome.check.violations.emplace_back(buf);
+        }
+      }
+    }
+  }
   outcome.finished_at = cluster.sim().now();
   outcome.phase_events = st.phase_events;
   outcome.phase_count = st.phase_count;
@@ -361,6 +492,41 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
     inj.delay = delay;
     return inj;
   };
+  auto loss = [](std::uint32_t src, std::uint32_t dst, std::uint64_t ppm) {
+    Injection inj;
+    inj.kind = Injection::Kind::kLoss;
+    inj.src = ProcessId{src};
+    inj.dst = ProcessId{dst};
+    inj.index = ppm;
+    return inj;
+  };
+  auto window = [](Injection::Kind kind, std::uint32_t src, std::uint32_t dst,
+                   std::uint64_t index, std::uint32_t count) {
+    Injection inj;
+    inj.kind = kind;  // kLossBurst or kDup
+    inj.src = ProcessId{src};
+    inj.dst = ProcessId{dst};
+    inj.index = index;
+    inj.count = count;
+    return inj;
+  };
+  auto partition = [](std::uint32_t pid, Time at, Duration width) {
+    Injection inj;
+    inj.kind = Injection::Kind::kPartition;
+    inj.victim = ProcessId{pid};
+    inj.at = at;
+    inj.delay = width;
+    return inj;
+  };
+  auto flap = [](std::uint32_t pid, Time at, Duration width, std::uint32_t cycles) {
+    Injection inj;
+    inj.kind = Injection::Kind::kFlap;
+    inj.victim = ProcessId{pid};
+    inj.at = at;
+    inj.delay = width;
+    inj.count = cycles;
+    return inj;
+  };
 
   std::vector<FaultSchedule> out;
   const std::uint64_t seeds = options.seeds_per_cell == 0 ? 1 : options.seeds_per_cell;
@@ -394,8 +560,8 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
 
   // The sweep grid. Every variant family below applies to each (cell, seed)
   // coordinate it is legal for (correlated crashes need f >= victims), so
-  // the matrix is cells × seeds × applicable variants: 180 variant rows
-  // across these six cells at 64 seeds each = 11520 schedules.
+  // the matrix is cells × seeds × applicable variants: 250 variant rows
+  // across these six cells at 64 seeds each = 16000 schedules.
   const Cell cells[] = {{4, 1}, {6, 1}, {4, 2}, {6, 2}, {8, 2}, {8, 3}};
   for (const Cell cell : cells) {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -502,7 +668,32 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
               crash(c, milliseconds(2100))});
       }
 
+      // --- unreliable fabric (appended after the perfect-fabric families
+      // so the canonical matrix prefix — and every repro line derived from
+      // it — survives the growth). All of these auto-enable the reliable
+      // transport; V1–V8 must still hold, and V9 checks exactly-once
+      // delivery under retransmission. Partition windows are sized to heal
+      // well inside the idle deadline — recovery stalls, then completes.
+      emit({crash(a, seconds(2)), loss(b, c, 100000)});  // 10% bystander loss
+      emit({crash(a, seconds(2)), loss(b, a, 200000)});  // lossy road to the victim
+      emit({loss(a, b, 100000), loss(b, a, 100000)});    // symmetric loss, no crash
+      emit({crash(a, seconds(2)), window(Injection::Kind::kLossBurst, b, c, 2, 5)});
+      emit({window(Injection::Kind::kLossBurst, b, c, 1, 8)});
+      emit({crash(a, seconds(2)), window(Injection::Kind::kDup, b, c, 1, 6)});
+      emit({window(Injection::Kind::kDup, b, c, 0, 10),
+            window(Injection::Kind::kDup, c, b, 2, 4)});
+      emit({partition(b, seconds(1), milliseconds(1500))});  // clean partition + heal
+      emit({crash(a, seconds(2)), partition(b, milliseconds(2200), milliseconds(1500))});
+      emit({crash(a, seconds(2)), flap(b, milliseconds(1500), milliseconds(400), 3)});
+      emit({crash(a, seconds(2)), loss(b, c, 100000),
+            partition(c, milliseconds(2500), seconds(1))});
+      if (cell.f >= 2) {
+        // --- correlated crash while a third link is lossy
+        emit({crash(a, seconds(2)), crash(b, milliseconds(2020)), loss(c, a, 100000)});
+      }
+
       for (FaultSchedule& s : variants) {
+        if (options.unreliable_only && !s.needs_reliable()) continue;
         out.push_back(std::move(s));
         if (options.max_runs != 0 && out.size() >= options.max_runs) return out;
       }

@@ -6,8 +6,11 @@
 // injections, drives the simulation to idle (or the deadline), and feeds
 // the full structured trace through the history checker — including the
 // proof-derived V7 (stale rejection) and V8 (leader-ordinal monotonicity)
-// oracles. Everything is a pure function of the schedule, so any failure
-// is replayable from its one-line form.
+// oracles, plus V9 (exactly-once application delivery under
+// retransmission) for schedules that degrade the network fabric; those
+// auto-enable the reliable transport and additionally audit its channel
+// counters after the run. Everything is a pure function of the schedule,
+// so any failure is replayable from its one-line form.
 //
 // explore() enumerates a seeded matrix of schedules (grid × seeds × fault
 // variants) and runs each; on the first failure it invokes shrink(), a
@@ -42,7 +45,8 @@ struct RunOutcome {
   /// Cluster reached all-idle (every process alive, recovered, unblocked)
   /// before the schedule's idle deadline. A wedged recovery shows up here.
   bool terminated{false};
-  /// History-checker verdict over the full structured trace (V1–V8).
+  /// History-checker verdict over the full structured trace (V1–V9; the
+  /// explorer appends transport-audit violations to V9 for lossy runs).
   trace::CheckResult check;
   Time finished_at{0};
   std::uint64_t phase_events{0};
@@ -71,6 +75,10 @@ struct ExploreOptions {
   /// (and bias the matrix toward concurrent-failure scenarios that expose
   /// it). The explorer must then find, shrink and report a failure.
   bool seed_bug{false};
+  /// Restrict the matrix to unreliable-fabric schedules (loss / lossburst /
+  /// dup / partition / flap coordinates) — the stratified CI slice that
+  /// exercises the reliable transport and the V9 oracle.
+  bool unreliable_only{false};
   bool stop_on_failure{true};
   /// Shrink budget: schedule re-executions the minimiser may spend.
   std::uint32_t shrink_budget{64};

@@ -83,6 +83,27 @@ std::string to_string(const Injection& inj) {
                     static_cast<unsigned long long>(inj.index), inj.count,
                     static_cast<long long>(inj.delay));
       break;
+    case Injection::Kind::kLoss:
+      std::snprintf(buf, sizeof buf, "loss:%u-%u@%llu", inj.src.value, inj.dst.value,
+                    static_cast<unsigned long long>(inj.index));
+      break;
+    case Injection::Kind::kLossBurst:
+      std::snprintf(buf, sizeof buf, "lossburst:%u-%u@%llux%u", inj.src.value, inj.dst.value,
+                    static_cast<unsigned long long>(inj.index), inj.count);
+      break;
+    case Injection::Kind::kDup:
+      std::snprintf(buf, sizeof buf, "dup:%u-%u@%llux%u", inj.src.value, inj.dst.value,
+                    static_cast<unsigned long long>(inj.index), inj.count);
+      break;
+    case Injection::Kind::kPartition:
+      std::snprintf(buf, sizeof buf, "partition:%u@%lld+%lld", inj.victim.value,
+                    static_cast<long long>(inj.at), static_cast<long long>(inj.delay));
+      break;
+    case Injection::Kind::kFlap:
+      std::snprintf(buf, sizeof buf, "flap:%u@%lld+%lldx%u", inj.victim.value,
+                    static_cast<long long>(inj.at), static_cast<long long>(inj.delay),
+                    inj.count);
+      break;
   }
   return buf;
 }
@@ -142,6 +163,41 @@ bool parse_injection(std::string_view s, Injection& out) {
     inj.count = static_cast<std::uint32_t>(v);
     if (!eat(s, "+") || !eat_u64(s, v) || v == 0) return false;
     inj.delay = static_cast<Duration>(v);
+  } else if (eat(s, "lossburst:")) {
+    // Checked before "loss:" for clarity; the trailing ':' already keeps the
+    // two prefixes from shadowing each other.
+    inj.kind = Injection::Kind::kLossBurst;
+    if (!eat_pid(s, inj.src) || !eat(s, "-") || !eat_pid(s, inj.dst) || !eat(s, "@") ||
+        !eat_u64(s, inj.index) || !eat(s, "x") || !eat_u64(s, v) || v == 0 ||
+        v > 0xffffffffULL) {
+      return false;
+    }
+    inj.count = static_cast<std::uint32_t>(v);
+  } else if (eat(s, "loss:")) {
+    inj.kind = Injection::Kind::kLoss;
+    if (!eat_pid(s, inj.src) || !eat(s, "-") || !eat_pid(s, inj.dst) || !eat(s, "@") ||
+        !eat_u64(s, inj.index) || inj.index == 0 || inj.index > 1000000) {
+      return false;
+    }
+  } else if (eat(s, "dup:")) {
+    inj.kind = Injection::Kind::kDup;
+    if (!eat_pid(s, inj.src) || !eat(s, "-") || !eat_pid(s, inj.dst) || !eat(s, "@") ||
+        !eat_u64(s, inj.index) || !eat(s, "x") || !eat_u64(s, v) || v == 0 ||
+        v > 0xffffffffULL) {
+      return false;
+    }
+    inj.count = static_cast<std::uint32_t>(v);
+  } else if (s.starts_with("partition:") || s.starts_with("flap:")) {
+    inj.kind = eat(s, "partition:") ? Injection::Kind::kPartition
+                                    : (eat(s, "flap:"), Injection::Kind::kFlap);
+    if (!eat_pid(s, inj.victim) || !eat(s, "@") || !eat_u64(s, v)) return false;
+    inj.at = static_cast<Time>(v);
+    if (!eat(s, "+") || !eat_u64(s, v) || v == 0) return false;
+    inj.delay = static_cast<Duration>(v);
+    if (inj.kind == Injection::Kind::kFlap) {
+      if (!eat(s, "x") || !eat_u64(s, v) || v == 0 || v > 0xffffffffULL) return false;
+      inj.count = static_cast<std::uint32_t>(v);
+    }
   } else {
     return false;
   }
@@ -170,6 +226,22 @@ bool parse_algorithm(std::string_view token, recovery::Algorithm& out) {
     return false;
   }
   return true;
+}
+
+bool FaultSchedule::needs_reliable() const {
+  for (const Injection& inj : injections) {
+    switch (inj.kind) {
+      case Injection::Kind::kLoss:
+      case Injection::Kind::kLossBurst:
+      case Injection::Kind::kDup:
+      case Injection::Kind::kPartition:
+      case Injection::Kind::kFlap:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
 }
 
 std::string FaultSchedule::format() const {

@@ -31,6 +31,28 @@
 //                                     <pid>'s stable-storage device by <d>
 //                                     each (a retried seek / remapped
 //                                     block; queued ops shift behind it)
+//   loss:<src>-<dst>@<ppm>            make the src->dst channel lossy: each
+//                                     send (any frame kind) dies with
+//                                     probability <ppm>/1e6, drawn by a
+//                                     stateless hash of the schedule seed
+//                                     and the send index
+//   lossburst:<src>-<dst>@<i>x<c>     drop sends <i>..<i+c-1> on the channel
+//                                     outright — all frame kinds, unlike
+//                                     drop: (a dead interval, not app-only)
+//   dup:<src>-<dst>@<i>x<c>           re-deliver a copy of sends
+//                                     <i>..<i+c-1> shortly after the
+//                                     original (receive-side dedup must
+//                                     suppress them)
+//   partition:<pid>@<t>+<d>           bidirectionally isolate <pid> from
+//                                     everyone at absolute time <t>, heal
+//                                     at <t>+<d>
+//   flap:<pid>@<t>+<d>x<c>            <c> cycles of [isolated <d>, healed
+//                                     <d>] starting at <t> (a flapping link)
+//
+// The loss/lossburst/dup/partition/flap coordinates degrade the fabric
+// below the paper's reliable-FIFO assumption, so running them implies the
+// reliable transport (FaultSchedule::needs_reliable(); the explorer enables
+// net::TransportConfig automatically).
 //
 // Optional key=value fields besides the cluster shape: `restart=<ns>` sets
 // the supervisor restart delay — stretch it past the failure-detector
@@ -52,7 +74,19 @@ namespace rr::check {
 
 /// One fault, addressable by a coordinate that is stable across re-runs.
 struct Injection {
-  enum class Kind : std::uint8_t { kCrashAt, kPhaseCrash, kDrop, kDelay, kStale, kStall };
+  enum class Kind : std::uint8_t {
+    kCrashAt,
+    kPhaseCrash,
+    kDrop,
+    kDelay,
+    kStale,
+    kStall,
+    kLoss,       ///< probabilistic per-send loss on one channel (index = ppm)
+    kLossBurst,  ///< deterministic dead interval on one channel (all kinds)
+    kDup,        ///< duplicate sends i..i+c-1 on one channel
+    kPartition,  ///< bidirectional isolation of victim over [at, at+delay)
+    kFlap,       ///< count cycles of [isolated delay][healed delay] from at
+  };
 
   /// Wildcard victim for kPhaseCrash: crash whichever process fired the
   /// phase event (printed as "L" — in practice the round leader).
@@ -60,16 +94,20 @@ struct Injection {
 
   Kind kind{Kind::kCrashAt};
 
-  ProcessId victim{0};    ///< kCrashAt / kPhaseCrash (kFirer = event source) / kStall
-  Time at{0};             ///< kCrashAt: absolute crash time
+  ProcessId victim{0};    ///< kCrashAt / kPhaseCrash (kFirer = event source) / kStall /
+                          ///< kPartition / kFlap
+  Time at{0};             ///< kCrashAt / kPartition / kFlap: absolute time
   recovery::PhaseId phase{recovery::PhaseId::kLeaderElected};  ///< kPhaseCrash
   std::uint32_t occurrence{1};  ///< kPhaseCrash: 1-based k-th global firing
-  Duration delay{0};      ///< kPhaseCrash/kStale/kDelay/kStall extra duration
+  Duration delay{0};      ///< kPhaseCrash/kStale/kDelay/kStall extra duration;
+                          ///< kPartition/kFlap: isolation window length
 
-  ProcessId src{0};       ///< kDrop/kDelay/kStale: channel source
-  ProcessId dst{0};       ///< kDrop/kDelay/kStale: channel destination
-  std::uint64_t index{0}; ///< first affected send (channel) or op (storage) index
-  std::uint32_t count{1}; ///< kDrop/kDelay/kStall: consecutive indices affected
+  ProcessId src{0};       ///< kDrop/kDelay/kStale/kLoss/kLossBurst/kDup: channel source
+  ProcessId dst{0};       ///< kDrop/kDelay/kStale/kLoss/kLossBurst/kDup: channel destination
+  std::uint64_t index{0}; ///< first affected send (channel) or op (storage) index;
+                          ///< kLoss: loss probability in parts per million (<= 1000000)
+  std::uint32_t count{1}; ///< kDrop/kDelay/kStall/kLossBurst/kDup: consecutive indices;
+                          ///< kFlap: number of [down][up] cycles
 
   friend bool operator==(const Injection&, const Injection&) = default;
 };
@@ -103,6 +141,11 @@ struct FaultSchedule {
   std::vector<Injection> injections;
 
   friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+  /// True when any injection degrades the fabric below reliable FIFO
+  /// (loss / lossburst / dup / partition / flap) — such schedules are run
+  /// with the reliable transport enabled.
+  [[nodiscard]] bool needs_reliable() const;
 
   /// One-line key=value form; parse() inverts it exactly.
   [[nodiscard]] std::string format() const;

@@ -54,6 +54,16 @@ void FailureDetector::on_heartbeat(ProcessId from) {
   }
 }
 
+void FailureDetector::report_unreachable(ProcessId peer) {
+  if (!beat_timer_.running()) return;
+  const auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.suspected) return;
+  it->second.suspected = true;
+  RR_DEBUG("detect", "%s suspects %s (transport unreachable)", to_string(self_).c_str(),
+           to_string(peer).c_str());
+  if (on_change_) on_change_(peer, true);
+}
+
 void FailureDetector::sweep() {
   for (auto& [id, st] : peers_) {
     if (!st.suspected && sim_.now() - st.last_seen > config_.timeout) {

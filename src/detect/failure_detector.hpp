@@ -52,6 +52,12 @@ class FailureDetector {
   /// Feed in a heartbeat (or any liveness-proving message) from `from`.
   void on_heartbeat(ProcessId from);
 
+  /// External evidence that `peer` cannot be reached (the reliable
+  /// transport's bounded-retry escalation). Suspects the peer immediately
+  /// through the normal change path instead of waiting out the heartbeat
+  /// timeout; a later heartbeat un-suspects as usual. No-op while stopped.
+  void report_unreachable(ProcessId peer);
+
   [[nodiscard]] bool suspects(ProcessId peer) const;
   [[nodiscard]] std::vector<ProcessId> suspected() const;
   [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }

@@ -1,8 +1,10 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "obs/span.hpp"
 
@@ -14,6 +16,24 @@ std::uint64_t channel_key(ProcessId src, ProcessId dst) {
   return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
 }
 
+// Fault-draw domains; mixed into the hash so loss, dup and reorder draws
+// for the same packet are independent.
+constexpr std::uint64_t kTagLoss = 0x6c6f7373;     // "loss"
+constexpr std::uint64_t kTagDup = 0x647570;        // "dup"
+constexpr std::uint64_t kTagReorder = 0x72656f72;  // "reor"
+
+constexpr std::uint64_t kPpmScale = 1'000'000;
+
+std::uint32_t to_ppm(double p) {
+  if (p <= 0.0) return 0;
+  const double scaled = std::min(p, 1.0) * static_cast<double>(kPpmScale);
+  return static_cast<std::uint32_t>(std::llround(scaled));
+}
+
+bool sorted_contains(const std::vector<ProcessId>& v, ProcessId id) {
+  return std::binary_search(v.begin(), v.end(), id);
+}
+
 }  // namespace
 
 Network::Network(sim::Simulator& sim, NetworkConfig config, metrics::Registry& metrics)
@@ -21,6 +41,18 @@ Network::Network(sim::Simulator& sim, NetworkConfig config, metrics::Registry& m
   RR_CHECK(config_.base_latency >= 0);
   RR_CHECK(config_.bytes_per_second > 0);
   RR_CHECK(config_.jitter_max >= 0);
+  RR_CHECK(config_.faults.loss >= 0.0 && config_.faults.loss < 1.0);
+  RR_CHECK(config_.faults.dup >= 0.0 && config_.faults.dup <= 1.0);
+  RR_CHECK(config_.faults.loss_burst >= 1);
+  RR_CHECK(config_.faults.reorder_window >= 0);
+  // The draw seed comes from a dedicated fork so the fault universe is a
+  // function of the sim seed (plus salt) alone — using rng_ itself would
+  // couple packet fates to how many jitter values were drawn before.
+  draw_seed_ = sim.rng().fork("net.faults").next_u64() ^ config_.faults.salt;
+  // Bursts scale the start probability down so the per-packet loss *rate*
+  // is preserved: a burst beginning at i kills i..i+burst-1.
+  loss_start_ppm_ = to_ppm(config_.faults.loss / config_.faults.loss_burst);
+  dup_ppm_ = to_ppm(config_.faults.dup);
 }
 
 void Network::attach(ProcessId id, Endpoint& endpoint) {
@@ -43,6 +75,38 @@ bool Network::is_up(ProcessId id) const {
   return it != endpoints_.end() && it->second.up;
 }
 
+void Network::set_partitioned(ProcessId id, bool isolated) {
+  const auto it = std::lower_bound(partitioned_.begin(), partitioned_.end(), id);
+  const bool present = it != partitioned_.end() && *it == id;
+  if (isolated && !present) {
+    partitioned_.insert(it, id);
+    RR_TRACE("net", "partition up around %s", to_string(id).c_str());
+  } else if (!isolated && present) {
+    partitioned_.erase(it);
+    RR_TRACE("net", "partition healed around %s", to_string(id).c_str());
+  }
+}
+
+bool Network::is_partitioned(ProcessId id) const {
+  return sorted_contains(partitioned_, id);
+}
+
+void Network::set_fault_exempt(ProcessId id) {
+  const auto it = std::lower_bound(exempt_.begin(), exempt_.end(), id);
+  if (it == exempt_.end() || *it != id) exempt_.insert(it, id);
+}
+
+bool Network::link_open(ProcessId src, ProcessId dst) const {
+  if (partitioned_.empty()) return true;
+  return !sorted_contains(partitioned_, src) && !sorted_contains(partitioned_, dst);
+}
+
+bool Network::profile_applies(ProcessId src, ProcessId dst) const {
+  if (!config_.faults.any()) return false;
+  if (exempt_.empty()) return true;
+  return !sorted_contains(exempt_, src) && !sorted_contains(exempt_, dst);
+}
+
 Network::ChannelHorizon& Network::channel_for(std::uint64_t key) {
   const auto it = std::lower_bound(
       channel_horizon_.begin(), channel_horizon_.end(), key,
@@ -63,21 +127,63 @@ Duration Network::transit_time(std::size_t bytes) {
   return config_.base_latency + serialization + jitter;
 }
 
+std::uint64_t Network::fault_draw(std::uint64_t tag, std::uint64_t key,
+                                  std::uint64_t index) const {
+  Hasher h;
+  h.mix_u64(draw_seed_).mix_u64(tag).mix_u64(key).mix_u64(index);
+  return h.digest();
+}
+
+bool Network::loss_verdict(std::uint64_t key, std::uint64_t index) const {
+  if (loss_start_ppm_ == 0) return false;
+  // Packet i dies if any j in [i-burst+1, i] started a loss run.
+  const std::uint64_t burst = config_.faults.loss_burst;
+  const std::uint64_t lo = index + 1 >= burst ? index + 1 - burst : 0;
+  for (std::uint64_t j = lo; j <= index; ++j) {
+    if (fault_draw(kTagLoss, key, j) % kPpmScale < loss_start_ppm_) return true;
+  }
+  return false;
+}
+
+void Network::schedule_delivery(Time at, ProcessId src, ProcessId dst, Bytes payload) {
+  sim_.schedule_at(at, [this, src, dst, payload = std::move(payload)]() mutable {
+    const auto it = endpoints_.find(dst);
+    if (it == endpoints_.end() || !it->second.up) {
+      // Receiver crashed (or was removed) while the packet was in flight.
+      metrics_.counter("net.drop.down").add();
+      RR_TRACE("net", "drop in-flight %s -> %s (down)", to_string(src).c_str(),
+               to_string(dst).c_str());
+      BufferPool::global().release(std::move(payload));
+      return;
+    }
+    if (!link_open(src, dst)) {
+      // The wall went up while the packet was on the wire.
+      metrics_.counter("net.drop.partition").add();
+      BufferPool::global().release(std::move(payload));
+      return;
+    }
+    it->second.endpoint->deliver(src, std::move(payload));
+  });
+}
+
 std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
   const auto src_it = endpoints_.find(src);
   if (src_it == endpoints_.end() || !src_it->second.up) {
-    metrics_.counter("net.dropped_at_send").add();
+    metrics_.counter("net.drop.down").add();
     return 0;
   }
   RR_CHECK_MSG(endpoints_.contains(dst), "send to unknown endpoint");
 
+  // chan_index advances for every send that passed the liveness check, no
+  // matter what kills the packet afterwards — fault coordinates must not
+  // shift when an earlier packet is lost.
   ChannelHorizon& chan = channel_for(channel_key(src, dst));
   const std::uint64_t chan_index = chan.sent++;
   Duration extra_delay = 0;
   if (fault_hook_) {
     const FaultDecision fault = fault_hook_(src, dst, payload, chan_index);
     if (fault.drop) {
-      metrics_.counter("net.injected_drops").add();
+      metrics_.counter("net.drop.fault").add();
       BufferPool::global().release(std::move(payload));
       return 0;
     }
@@ -86,6 +192,20 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
       extra_delay = fault.extra_delay;
     }
   }
+  if (!link_open(src, dst)) {
+    metrics_.counter("net.drop.partition").add();
+    BufferPool::global().release(std::move(payload));
+    return 0;
+  }
+  const std::uint64_t key = channel_key(src, dst);
+  const bool lossy = profile_applies(src, dst);
+  if (lossy && loss_verdict(key, chan_index)) {
+    metrics_.counter("net.drop.loss").add();
+    RR_TRACE("net", "loss %s -> %s #%llu", to_string(src).c_str(),
+             to_string(dst).c_str(), static_cast<unsigned long long>(chan_index));
+    BufferPool::global().release(std::move(payload));
+    return 0;
+  }
 
   const std::size_t bytes = payload.size() + kHeaderBytes;
   metrics_.counter("net.packets").add();
@@ -93,28 +213,39 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
 
   // FIFO: never deliver earlier than the previous packet on this channel.
   // Injected delay is applied before the horizon so it pushes the channel
-  // back as a whole instead of reordering it.
+  // back as a whole instead of reordering it. A reorder window adds its
+  // extra *after* the horizon clamp: adjacent packets may then swap, and
+  // the horizon degrades into a monotone high-water mark.
   Time deliver_at = sim_.now() + transit_time(bytes) + extra_delay;
   deliver_at = std::max(deliver_at, chan.at + config_.fifo_spacing);
-  chan.at = deliver_at;
+  chan.at = std::max(chan.at, deliver_at);
+  if (lossy && config_.faults.reorder_window > 0) {
+    // The extra rides on top of the horizon-clamped base and is *not*
+    // folded back into chan.at: the horizon stays the monotone base
+    // schedule, so two adjacent packets with different extras may swap.
+    const auto window = static_cast<std::uint64_t>(config_.faults.reorder_window);
+    deliver_at += static_cast<Duration>(
+        fault_draw(kTagReorder, key, chan_index) % (window + 1));
+  }
 
   if (tracer_ != nullptr && !payload.empty()) {
     tracer_->on_packet(sim_.now(), deliver_at, src.value, dst.value, bytes,
                        static_cast<std::uint32_t>(payload[0]));
   }
 
-  sim_.schedule_at(deliver_at, [this, src, dst, payload = std::move(payload)]() mutable {
-    const auto it = endpoints_.find(dst);
-    if (it == endpoints_.end() || !it->second.up) {
-      // Receiver crashed (or was removed) while the packet was in flight.
-      metrics_.counter("net.dropped_at_delivery").add();
-      RR_TRACE("net", "drop in-flight %s -> %s (down)", to_string(src).c_str(),
-               to_string(dst).c_str());
-      BufferPool::global().release(std::move(payload));
-      return;
-    }
-    it->second.endpoint->deliver(src, std::move(payload));
-  });
+  if (lossy && dup_ppm_ != 0 &&
+      fault_draw(kTagDup, key, chan_index) % kPpmScale < dup_ppm_) {
+    // The copy trails the original by a deterministic sliver, outside the
+    // FIFO horizon — the classic retransmit-ghost a dedup layer must eat.
+    metrics_.counter("net.dup_injected").add();
+    const auto lag = static_cast<Duration>(
+        1 + fault_draw(kTagDup ^ kTagReorder, key, chan_index) %
+                (static_cast<std::uint64_t>(config_.jitter_max) + 1));
+    schedule_delivery(deliver_at + lag, src, dst,
+                      BufferPool::global().copy_of(payload));
+  }
+
+  schedule_delivery(deliver_at, src, dst, std::move(payload));
   return bytes;
 }
 
@@ -126,15 +257,9 @@ void Network::inject(ProcessId src, ProcessId dst, Bytes payload, Duration delay
                        payload.size() + kHeaderBytes,
                        static_cast<std::uint32_t>(payload[0]));
   }
-  sim_.schedule_after(delay, [this, src, dst, payload = std::move(payload)]() mutable {
-    const auto it = endpoints_.find(dst);
-    if (it == endpoints_.end() || !it->second.up) {
-      metrics_.counter("net.dropped_at_delivery").add();
-      BufferPool::global().release(std::move(payload));
-      return;
-    }
-    it->second.endpoint->deliver(src, std::move(payload));
-  });
+  // Bypasses sender liveness and the FIFO horizon (that is the point of a
+  // stale straggler), but not the destination's down/partition wall.
+  schedule_delivery(sim_.now() + delay, src, dst, std::move(payload));
 }
 
 void Network::broadcast(ProcessId src, const Bytes& payload) {

@@ -1,9 +1,18 @@
 // Simulated message-passing fabric.
 //
-// Point-to-point, reliable-unless-crashed, FIFO per (src, dst) channel —
-// the TCP-over-ATM transport of the paper's testbed. Latency for a packet
-// is base + size/bandwidth + jitter, with per-channel monotonic delivery
-// enforcement so jitter never reorders a channel.
+// Point-to-point, FIFO per (src, dst) channel — the TCP-over-ATM transport
+// of the paper's testbed. Latency for a packet is base + size/bandwidth +
+// jitter, with per-channel monotonic delivery enforcement so jitter never
+// reorders a channel. By default the fabric is reliable-unless-crashed; a
+// LinkFaultConfig profile degrades it into a lossy fabric (per-link loss
+// probability with deterministic bursts, duplication, bounded reordering
+// windows) and set_partitioned() isolates an endpoint bidirectionally —
+// the substrate the reliable transport (net/reliable.hpp) exists to tame.
+//
+// Every probabilistic fault decision is a pure function of (seed, fault
+// kind, channel, chan_index) via FNV hashing — no hidden RNG stream — so a
+// packet's fate is identical across reruns and across --jobs worker counts
+// regardless of event interleaving.
 //
 // Crash semantics: a *down* endpoint neither sends nor receives; packets
 // already in flight toward a host that goes down are dropped at delivery
@@ -12,7 +21,9 @@
 // *from* a host that goes down still arrive: the network keeps no
 // affiliation between a packet and the fate of its sender, which is exactly
 // what creates the stale-message hazard the recovery algorithm's incvector
-// mechanism exists to close.
+// mechanism exists to close. A *partitioned* endpoint is different: the
+// cut is bidirectional and applies both at send and at delivery time (a
+// packet in flight when the wall goes up is swallowed too).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +68,34 @@ using FaultHook = std::function<FaultDecision(ProcessId src, ProcessId dst,
                                               const Bytes& payload,
                                               std::uint64_t chan_index)>;
 
+/// Link unreliability profile, applied to every non-exempt (src, dst)
+/// channel. All draws are deterministic hashes of (seed ^ salt, kind,
+/// channel, chan_index); rerunning the same schedule replays the same
+/// fates byte-for-byte.
+struct LinkFaultConfig {
+  /// Per-packet loss probability in [0, 1). 0 disables loss.
+  double loss{0.0};
+  /// Losses come in runs of this length: a loss draw at index i kills
+  /// packets i..i+burst-1 on that channel. The draw probability is scaled
+  /// by 1/burst so the long-run loss *rate* stays `loss`. Must be >= 1.
+  std::uint32_t loss_burst{1};
+  /// Probability that a delivered packet is also duplicated (the copy
+  /// arrives out of band shortly after the original). 0 disables.
+  double dup{0.0};
+  /// When > 0, each packet gets a deterministic extra delay in
+  /// [0, reorder_window] that is *not* clamped to the channel horizon —
+  /// adjacent packets may swap. The horizon itself stays monotone (it
+  /// becomes a high-water mark). 0 keeps strict FIFO.
+  Duration reorder_window{0};
+  /// Mixed into every draw; lets two runs with the same sim seed explore
+  /// different loss universes.
+  std::uint64_t salt{0};
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss > 0.0 || dup > 0.0 || reorder_window > 0;
+  }
+};
+
 struct NetworkConfig {
   /// Fixed one-way propagation + protocol-stack latency per packet.
   Duration base_latency = microseconds(250);
@@ -66,6 +105,8 @@ struct NetworkConfig {
   Duration jitter_max = microseconds(50);
   /// Minimum spacing between consecutive deliveries on one channel.
   Duration fifo_spacing = nanoseconds(1);
+  /// Link unreliability; default is the paper's perfect fabric.
+  LinkFaultConfig faults{};
 };
 
 class Network {
@@ -84,6 +125,19 @@ class Network {
   /// are dropped.
   void set_up(ProcessId id, bool up);
   [[nodiscard]] bool is_up(ProcessId id) const;
+
+  /// Bidirectional partition switch: while isolated, every link touching
+  /// `id` is cut — sends from it, sends toward it, and packets already in
+  /// flight toward it (checked again at delivery time). Unlike set_up the
+  /// endpoint itself stays alive: timers run, state is kept, and on heal
+  /// traffic resumes without a restore. Drops count as net.drop.partition.
+  void set_partitioned(ProcessId id, bool isolated);
+  [[nodiscard]] bool is_partitioned(ProcessId id) const;
+
+  /// Exempt every link touching `id` from the loss/dup/reorder profile
+  /// (partitions still cut it). Used for infrastructure endpoints — the
+  /// ordinal service is not a lossy radio hop.
+  void set_fault_exempt(ProcessId id);
 
   /// Enqueue a packet. Returns the number of bytes charged (payload +
   /// per-packet header overhead), or 0 if it was dropped at send time.
@@ -137,6 +191,20 @@ class Network {
   /// Channel slot (horizon + send count), inserted (at kTimeZero) on first use.
   [[nodiscard]] ChannelHorizon& channel_for(std::uint64_t key);
 
+  /// Stateless fault draw: uniform u64, pure in (draw seed, tag, channel
+  /// key, chan_index). Independent of call order and of the jitter RNG.
+  [[nodiscard]] std::uint64_t fault_draw(std::uint64_t tag, std::uint64_t key,
+                                         std::uint64_t index) const;
+  /// True iff the loss profile kills packet `index` on channel `key`
+  /// (directly or as part of a burst started by an earlier index).
+  [[nodiscard]] bool loss_verdict(std::uint64_t key, std::uint64_t index) const;
+  /// Both link ends outside the partition set?
+  [[nodiscard]] bool link_open(ProcessId src, ProcessId dst) const;
+  /// Loss/dup/reorder apply to this link? (Exempt endpoints opt out.)
+  [[nodiscard]] bool profile_applies(ProcessId src, ProcessId dst) const;
+  /// Schedule one delivery attempt at `at`, re-checking down/partition then.
+  void schedule_delivery(Time at, ProcessId src, ProcessId dst, Bytes payload);
+
   sim::Simulator& sim_;
   NetworkConfig config_;
   metrics::Registry& metrics_;
@@ -145,6 +213,11 @@ class Network {
   std::vector<ChannelHorizon> channel_horizon_;  // sorted by key
   FaultHook fault_hook_;
   obs::SpanTracer* tracer_{nullptr};
+  std::vector<ProcessId> partitioned_;  // sorted; typically 0-2 entries
+  std::vector<ProcessId> exempt_;       // sorted; typically just the ord service
+  std::uint64_t draw_seed_{0};          // sim seed fork ^ faults.salt
+  std::uint32_t loss_start_ppm_{0};     // P(burst starts at index) in ppm
+  std::uint32_t dup_ppm_{0};
 };
 
 }  // namespace rr::net

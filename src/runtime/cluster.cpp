@@ -19,6 +19,9 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
   RR_CHECK_MSG(config_.f >= 1 && config_.f <= config_.num_processes, "1 <= f <= n required");
 
   network_.attach(kOrdServiceId, ord_);
+  // The ord service is infrastructure: its links never take the lossy
+  // profile (partitions around an app process still cut them).
+  network_.set_fault_exempt(kOrdServiceId);
   if (config_.enable_trace) trace_ = std::make_unique<trace::TraceLog>();
   if (config_.enable_spans) {
     obs::SpanTracerConfig sc;
@@ -58,6 +61,7 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
     nc.recovery = config_.recovery;
     nc.detector = config_.detector;
     nc.storage = config_.storage;
+    nc.transport = config_.transport;
     nc.checkpoint_period = config_.checkpoint_period;
     nc.supervisor_restart_delay = config_.supervisor_restart_delay;
     nc.replay_delivery_cost = config_.replay_delivery_cost;
@@ -128,7 +132,9 @@ std::uint64_t Cluster::state_hash() const {
 
 trace::CheckResult Cluster::check_history() const {
   RR_CHECK_MSG(trace_ != nullptr, "enable_trace must be set to check history");
-  return trace::check_history(*trace_);
+  // The V9 exactly-once pass only holds when protocol traffic rode the
+  // reliable transport — on the bare fabric, dropped frames stay lost.
+  return trace::check_history(*trace_, 16, config_.transport.enabled);
 }
 
 std::uint64_t Cluster::total_app_delivered() const {

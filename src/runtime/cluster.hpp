@@ -34,6 +34,9 @@ struct ClusterConfig {
   std::uint64_t seed{1};
 
   net::NetworkConfig net;
+  /// Reliable transport between app processes; enable when net.faults (or a
+  /// schedule's loss/partition coordinates) degrade the fabric.
+  net::TransportConfig transport;
   storage::StorageConfig storage;
   detect::DetectorConfig detector;
   recovery::RecoveryConfig recovery;  // .algorithm is overridden by `algorithm`

@@ -37,6 +37,7 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
       config_(config),
       metrics_(metrics),
       processes_(std::move(processes)),
+      transport_(sim, network, config.id, config.transport, metrics),
       app_(std::move(application)),
       ctx_(std::make_unique<Ctx>(*this)),
       engine_(fbl::EngineConfig{config.id, config.num_processes, config.f}),
@@ -146,7 +147,7 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
               .send_frame =
                   [this](ProcessId to, Bytes frame) {
                     metrics_.counter("snapshot.frames").add();
-                    network_.send(config_.id, to, std::move(frame));
+                    transport_.send(to, std::move(frame));
                   },
               .peers =
                   [this] {
@@ -174,6 +175,17 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
   if (config_.tracer != nullptr) {
     storage_.set_tracer(config_.tracer, config_.id.value);
   }
+  // The ordinal service speaks its own raw request/reply protocol and is
+  // infrastructure, not a lossy hop — never wrap traffic toward it.
+  transport_.set_raw_peer(config_.ord_service);
+  transport_.set_deliver([this](ProcessId src, const Bytes& payload, std::size_t offset) {
+    handle_wire(src, std::span<const std::byte>(payload).subspan(offset));
+  });
+  transport_.set_peer_signal([this](ProcessId peer, bool unreachable) {
+    if (!unreachable) return;
+    metrics_.counter("transport.peers_reported").add();
+    detector_.report_unreachable(peer);
+  });
   network_.attach(config_.id, *this);
   network_.set_up(config_.id, false);  // dark until start()
 }
@@ -199,6 +211,7 @@ void Node::start() {
   alive_ = true;
   inc_ = 1;
   network_.set_up(config_.id, true);
+  transport_.reset(inc_);
   const auto epoch = epoch_;
 
   BufWriter w;
@@ -245,6 +258,7 @@ void Node::crash() {
   recovering_ = false;
   needs_onstart_replay_ = false;
   network_.set_up(config_.id, false);
+  transport_.reset(0);  // a down node has no transport state
   detector_.stop();
   checkpoint_timer_.stop();
   det_flush_timer_.stop();
@@ -346,6 +360,9 @@ void Node::finish_restore(const fbl::Checkpoint& cp) {
   started_ = true;
   recovering_ = true;
   network_.set_up(config_.id, true);
+  // The incarnation bump is the transport epoch bump: peers seeing it reset
+  // their channels toward us, closing the pre-crash sequence space.
+  transport_.reset(inc_);
   detector_.set_peers(processes_);
   detector_.start();
   current_recovery_->restored_at = sim_.now();
@@ -398,13 +415,17 @@ void Node::finish_recovery() {
 // --- receive path ---------------------------------------------------------
 
 void Node::deliver(ProcessId src, Bytes payload) {
-  if (alive_) handle_wire(src, payload);
-  // The frame is fully decoded (copied out) by now; recycle the wire buffer
-  // so the next send's BufWriter picks it up instead of allocating.
-  BufferPool::global().release(std::move(payload));
+  if (!alive_) {
+    BufferPool::global().release(std::move(payload));
+    return;
+  }
+  // The transport demuxes (resequences/dedups/acks its own frames, passes
+  // raw ones through), upcalls handle_wire with the inner frame, and
+  // recycles the wire buffer afterwards.
+  transport_.on_wire(src, std::move(payload));
 }
 
-void Node::handle_wire(ProcessId src, const Bytes& payload) {
+void Node::handle_wire(ProcessId src, std::span<const std::byte> payload) {
   try {
     BufReader r(payload);
     switch (fbl::decode_kind(r)) {
@@ -636,7 +657,7 @@ void Node::app_send(ProcessId to, Bytes payload) {
     return;
   }
   if (recovering_) metrics_.counter("replay.sends_transmitted").add();
-  network_.send(config_.id, to, std::move(res.frame));
+  transport_.send(to, std::move(res.frame));
 }
 
 void Node::start_snapshot(std::uint64_t id) {
@@ -651,7 +672,7 @@ std::uint64_t Node::commit_output(Bytes payload) {
 }
 
 void Node::send_control(ProcessId to, const ControlMessage& m) {
-  const std::size_t bytes = network_.send(config_.id, to, recovery::encode_control(m));
+  const std::size_t bytes = transport_.send(to, recovery::encode_control(m));
   if (bytes == 0) return;
   metrics_.counter("recovery.ctrl_msgs").add();
   metrics_.counter("recovery.ctrl_bytes").add(bytes);
@@ -729,7 +750,7 @@ void Node::on_peer_recovered(ProcessId peer, const recovery::RecoveryComplete& m
     auto rt = engine_.retransmit_frame(peer, entry.ssn, inc_);
     if (!rt) continue;
     metrics_.counter("recovery.retransmits").add();
-    network_.send(config_.id, peer, std::move(rt->frame));
+    transport_.send(peer, std::move(rt->frame));
   }
 }
 
@@ -773,7 +794,7 @@ void Node::take_checkpoint() {
     fbl::CkptNoticeFrame notice{rsn, marks};
     const Bytes frame = notice.encode();
     for (const ProcessId pid : processes_) {
-      if (pid != config_.id) network_.send(config_.id, pid, BufferPool::global().copy_of(frame));
+      if (pid != config_.id) transport_.send(pid, BufferPool::global().copy_of(frame));
     }
     // Self-GC: our own receipts up to rsn are subsumed by the checkpoint.
     engine_.det_log().prune_dest(config_.id, rsn);
@@ -806,9 +827,11 @@ void Node::flush_unstable_dets() {
 
 void Node::send_heartbeats() {
   if (!alive_) return;
+  // Heartbeats stay raw: retransmitting a liveness proof after the silence
+  // window would claim liveness for an interval the node never proved.
   const Bytes frame = fbl::HeartbeatFrame{inc_}.encode();
   for (const ProcessId pid : processes_) {
-    if (pid != config_.id) network_.send(config_.id, pid, BufferPool::global().copy_of(frame));
+    if (pid != config_.id) transport_.send_raw(pid, BufferPool::global().copy_of(frame));
   }
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "app/application.hpp"
@@ -33,6 +34,7 @@
 #include "metrics/counters.hpp"
 #include "metrics/registry.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "obs/span.hpp"
 #include "recovery/output_commit.hpp"
 #include "recovery/recovery_manager.hpp"
@@ -53,6 +55,9 @@ struct NodeConfig {
   recovery::RecoveryConfig recovery;
   detect::DetectorConfig detector;
   storage::StorageConfig storage;
+  /// Reliable-delivery transport between app processes (off = passthrough,
+  /// the paper's perfect-fabric assumption). Enable alongside link faults.
+  net::TransportConfig transport;
   /// Independent checkpoint cadence.
   Duration checkpoint_period = seconds(10);
   /// Crash-to-restore-start delay (local watchdog detection).
@@ -122,6 +127,7 @@ class Node : public net::Endpoint {
   [[nodiscard]] const fbl::LoggingEngine& engine() const { return engine_; }
   [[nodiscard]] const recovery::RecoveryManager& recovery_manager() const { return recovery_; }
   [[nodiscard]] storage::StableStorage& stable_storage() { return storage_; }
+  [[nodiscard]] const net::ReliableTransport& transport() const { return transport_; }
 
   /// Total time application delivery was blocked by the recovery protocol
   /// (the paper's live-process intrusion metric).
@@ -163,7 +169,7 @@ class Node : public net::Endpoint {
   void finish_recovery();
 
   // Receive path.
-  void handle_wire(ProcessId src, const Bytes& payload);
+  void handle_wire(ProcessId src, std::span<const std::byte> payload);
   void handle_app_frame(ProcessId src, fbl::AppFrame frame);
   void try_deliver_app(ProcessId src, const fbl::AppFrame& frame);
   void drain_held(ProcessId src);
@@ -196,6 +202,7 @@ class Node : public net::Endpoint {
   NodeConfig config_;
   metrics::Registry& metrics_;
   std::vector<ProcessId> processes_;  // app processes, sorted, incl. self
+  net::ReliableTransport transport_;
 
   std::unique_ptr<app::Application> app_;
   std::unique_ptr<Ctx> ctx_;

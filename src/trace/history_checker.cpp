@@ -25,6 +25,7 @@ struct ProcessTimeline {
 struct Checker {
   const TraceLog& log;
   std::size_t max_violations;
+  bool reliable_fabric;
   CheckResult result;
   std::map<ProcessId, ProcessTimeline> timelines;
 
@@ -299,6 +300,36 @@ struct Checker {
       }
     }
   }
+  /// V9: exactly-once application delivery under retransmission. Armed only
+  /// for reliable-fabric runs: there a schedule-dropped frame is
+  /// retransmitted rather than lost, so within each destination execution a
+  /// channel's fresh deliveries must advance in strictly consecutive ssn
+  /// steps. A repeat means receive-side dedup failed; a gap means a message
+  /// the transport accepted was lost. Replayed deliveries are covered by V4
+  /// and skipped here; the first fresh delivery of each execution sets the
+  /// baseline (the watermark continues from the restored checkpoint).
+  void check_exactly_once() {
+    if (!reliable_fabric) return;
+    for (const auto& [pid, tl] : timelines) {
+      for (const auto& exec : tl.executions) {
+        std::map<ProcessId, Ssn> chan;  // src -> last fresh ssn delivered
+        for (const TimedEvent* ev : exec.events) {
+          const auto* d = std::get_if<DeliverEvent>(&ev->event);
+          if (d == nullptr || d->replayed) continue;
+          const auto it = chan.find(d->src);
+          if (it != chan.end()) {
+            if (d->ssn <= it->second) {
+              violate("V9: duplicate fresh delivery: " + to_string(*ev));
+            } else if (d->ssn != it->second + 1) {
+              violate("V9: channel gap (lost message after ssn " +
+                      std::to_string(it->second) + "): " + to_string(*ev));
+            }
+          }
+          chan[d->src] = std::max(chan[d->src], d->ssn);
+        }
+      }
+    }
+  }
 };
 
 }  // namespace
@@ -313,14 +344,16 @@ std::string CheckResult::summary() const {
   return buf;
 }
 
-CheckResult check_history(const TraceLog& log, std::size_t max_violations) {
-  Checker checker{log, max_violations, {}, {}};
+CheckResult check_history(const TraceLog& log, std::size_t max_violations,
+                          bool reliable_fabric) {
+  Checker checker{log, max_violations, reliable_fabric, {}, {}};
   checker.build_timelines();
   checker.check_send_before_deliver();
   checker.check_execution_ordering();
   checker.check_surviving_history();
   checker.check_stale_rejection();
   checker.check_leader_ordinals();
+  checker.check_exactly_once();
   return std::move(checker.result);
 }
 

@@ -24,7 +24,15 @@
 //  V8  leader-ordinal monotonicity: recovery leadership follows the ord
 //      service's assignment order — a leader steps over a lower ordinal
 //      only when that registration's owner crashed again after registering
-//      (next-ordinal failover) or is suspected by the leader.
+//      (next-ordinal failover) or is suspected by the leader;
+//  V9  exactly-once application delivery under retransmission (only with
+//      reliable_fabric set — i.e. the run routed traffic through the
+//      reliable transport over lossy links): within each destination
+//      execution every channel's fresh deliveries advance in strictly
+//      consecutive ssn steps — a repeat means receive-side dedup failed,
+//      a gap means a message the transport acked was lost. On the perfect
+//      fabric the pass is off: there, drop: injections legitimately leave
+//      gaps, because nothing retransmits.
 //
 // Rollbacks — fresh deliveries replacing a dead execution's suffix at the
 // same receipt orders — are legal exactly when the replaced suffix was
@@ -56,7 +64,10 @@ struct CheckResult {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Validate an execution trace. `max_violations` bounds the report.
-[[nodiscard]] CheckResult check_history(const TraceLog& log, std::size_t max_violations = 16);
+/// Validate an execution trace. `max_violations` bounds the report;
+/// `reliable_fabric` arms the V9 exactly-once pass (set it iff the run
+/// routed protocol traffic through the reliable transport).
+[[nodiscard]] CheckResult check_history(const TraceLog& log, std::size_t max_violations = 16,
+                                        bool reliable_fabric = false);
 
 }  // namespace rr::trace

@@ -43,6 +43,12 @@ TEST(FaultScheduleTest, InjectionGrammarRoundTrips) {
       "stale:1-2@5+3000000000",
       "sstall:1@2x3+150000000",
       "sstall:0@0x1+40000000",
+      "loss:0-1@10000",
+      "loss:2-3@1000000",
+      "lossburst:1-2@4x5",
+      "dup:0-3@2x6",
+      "partition:2@1000000000+1500000000",
+      "flap:1@1500000000+400000000x3",
   };
   for (const char* line : lines) {
     Injection inj;
@@ -56,10 +62,33 @@ TEST(FaultScheduleTest, RejectsMalformedInjections) {
       "",  "crash:@2",          "crash:1",       "pcrash:L@no-such-phase#1",
       "pcrash:L@gather-started", "drop:0-1@4",   "delay:2-3@7x2",
       "stale:1-2@5",            "crash:1@2extra", "nonsense:1@2",
+      "loss:0-1@0",             "loss:0-1@1000001",  // ppm out of range
+      "lossburst:1-2@4",        "dup:0-3@2",         // missing window count
+      "partition:2@1000",       "partition:2@1000+0",  // missing/zero width
+      "flap:1@1500+400",        "flap:1@1500+400x0",   // missing/zero cycles
   };
   for (const char* line : lines) {
     Injection inj;
     EXPECT_FALSE(check::parse_injection(line, inj)) << line;
+  }
+}
+
+TEST(FaultScheduleTest, NeedsReliableIffFabricDegrading) {
+  FaultSchedule s;
+  Injection inj;
+  ASSERT_TRUE(check::parse_injection("crash:1@2000000000", inj));
+  s.injections = {inj};
+  EXPECT_FALSE(s.needs_reliable());
+  ASSERT_TRUE(check::parse_injection("drop:0-1@4x3", inj));
+  s.injections.push_back(inj);
+  EXPECT_FALSE(s.needs_reliable());  // schedule drops are the perfect-fabric kind
+  for (const char* line : {"loss:0-1@10000", "lossburst:1-2@4x5", "dup:0-3@2x6",
+                           "partition:2@1000000000+1500000000",
+                           "flap:1@1500000000+400000000x3"}) {
+    ASSERT_TRUE(check::parse_injection(line, inj));
+    FaultSchedule lossy;
+    lossy.injections = {inj};
+    EXPECT_TRUE(lossy.needs_reliable()) << line;
   }
 }
 
@@ -205,8 +234,9 @@ TEST(ScheduleExplorerTest, MatrixCoversAtLeastTenThousandSchedules) {
   EXPECT_GE(schedules.size(), 10000u);
   // The grown matrix must exercise the new fault coordinates: correlated
   // multi-node crashes (two crash injections in one schedule), cascading
-  // leader failovers (pcrash depth >= 2) and storage stalls.
-  std::size_t correlated = 0, cascading = 0, storage = 0;
+  // leader failovers (pcrash depth >= 2), storage stalls, and the
+  // unreliable-fabric families (loss/partition/flap).
+  std::size_t correlated = 0, cascading = 0, storage = 0, unreliable = 0;
   for (const auto& s : schedules) {
     std::size_t crashes = 0, failovers = 0;
     for (const auto& inj : s.injections) {
@@ -216,16 +246,69 @@ TEST(ScheduleExplorerTest, MatrixCoversAtLeastTenThousandSchedules) {
     }
     if (crashes >= 2) ++correlated;
     if (failovers >= 2) ++cascading;
+    if (s.needs_reliable()) ++unreliable;
   }
   EXPECT_GT(correlated, 0u);
   EXPECT_GT(cascading, 0u);
   EXPECT_GT(storage, 0u);
+  EXPECT_GT(unreliable, 0u);
   // Every generated schedule round-trips through its replay line.
   for (std::size_t i = 0; i < schedules.size(); i += 97) {
     FaultSchedule parsed;
     ASSERT_TRUE(FaultSchedule::parse(schedules[i].format(), parsed));
     EXPECT_EQ(parsed, schedules[i]);
   }
+}
+
+TEST(ScheduleExplorerTest, UnreliableFilterSelectsOnlyLossySchedules) {
+  check::ExploreOptions opt;
+  opt.unreliable_only = true;
+  opt.seeds_per_cell = 1;
+  const auto schedules = ScheduleExplorer::matrix(opt);
+  ASSERT_GT(schedules.size(), 0u);
+  for (const auto& s : schedules) EXPECT_TRUE(s.needs_reliable()) << s.format();
+}
+
+// --- unreliable fabric end-to-end ------------------------------------------
+
+// A crash under 10% bystander link loss: the reliable transport must mask
+// the loss (no V9 duplicate/gap), recovery must terminate, and the run must
+// replay bit-identically — retransmission timers included.
+TEST(ScheduleExplorerTest, CrashUnderLinkLossPassesAllOraclesDeterministically) {
+  FaultSchedule s;
+  s.n = 4;
+  s.f = 1;
+  s.seed = 3;
+  Injection crash_inj = crash(1, seconds(2));
+  Injection loss_inj;
+  ASSERT_TRUE(check::parse_injection("loss:2-3@100000", loss_inj));
+  s.injections = {crash_inj, loss_inj};
+  ASSERT_TRUE(s.needs_reliable());
+
+  const check::RunOutcome a = ScheduleExplorer::run(s);
+  EXPECT_TRUE(a.ok()) << a.brief();
+  EXPECT_EQ(a.recoveries, 1u);
+  EXPECT_GT(a.injections_applied, 1u);  // the loss draws actually fired
+  const check::RunOutcome b = ScheduleExplorer::run(s);
+  EXPECT_EQ(a.state_hash, b.state_hash);
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.injections_applied, b.injections_applied);
+}
+
+// A partition that rises while the victim's peer is recovering: the gather
+// round stalls (it must await the partitioned determinant holder, not skip
+// it) and completes after the heal, within the idle deadline.
+TEST(ScheduleExplorerTest, PartitionDuringRecoveryHealsAndTerminates) {
+  FaultSchedule s;
+  s.n = 4;
+  s.f = 1;
+  s.seed = 5;
+  Injection part;
+  ASSERT_TRUE(check::parse_injection("partition:2@2200000000+1500000000", part));
+  s.injections = {crash(1, seconds(2)), part};
+  const check::RunOutcome o = ScheduleExplorer::run(s);
+  EXPECT_TRUE(o.ok()) << o.brief();
+  EXPECT_EQ(o.recoveries, 1u);
 }
 
 }  // namespace

@@ -106,6 +106,34 @@ TEST(ParallelExplorerTest, ExploreIsBitIdenticalAcrossJobs) {
   EXPECT_EQ(sweep(4), serial);
 }
 
+TEST(ParallelExplorerTest, LossySliceIsBitIdenticalAcrossJobs) {
+  // Same identity check over the unreliable-fabric slice of the matrix: the
+  // stateless loss/dup draws and the transport's retransmission timers must
+  // not leak any cross-instance or cross-thread state into the report.
+  auto sweep = [](unsigned jobs) {
+    ExploreOptions eo;
+    eo.seeds_per_cell = 1;
+    eo.max_runs = 4;
+    eo.jobs = jobs;
+    eo.unreliable_only = true;
+    std::vector<std::string> stream;
+    eo.on_run = [&stream](const FaultSchedule& s, const RunOutcome& o) {
+      stream.push_back(s.format() + " | " + o.brief() + " | " +
+                       std::to_string(o.state_hash) + " | " +
+                       std::to_string(o.injections_applied));
+    };
+    const ExploreResult r = ScheduleExplorer::explore(eo);
+    stream.push_back("runs=" + std::to_string(r.runs) +
+                     " failures=" + std::to_string(r.failures) +
+                     " injections=" + std::to_string(r.injections_applied));
+    return stream;
+  };
+  const auto serial = sweep(1);
+  ASSERT_EQ(serial.size(), 5u);  // 4 runs + the summary line
+  EXPECT_TRUE(serial.back().find("failures=0") != std::string::npos) << serial.back();
+  EXPECT_EQ(sweep(3), serial);
+}
+
 TEST(ParallelExplorerTest, ParallelShrinkMatchesSerialOnSeededBug) {
   ExploreOptions eo;
   eo.seed_bug = true;

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Run the benchmark suites and record BENCH_kernel.json + BENCH_recovery.json
-+ BENCH_explore.json.
++ BENCH_explore.json + BENCH_network.json.
 
 Runs bench_micro_sim and bench_micro_serde with --benchmark_format=json and
 writes a merged report at the repo root, so the kernel's performance
@@ -20,13 +20,22 @@ stdout reports are byte-identical, and records the job count plus the
 machine's hardware concurrency — the speedup number is meaningless without
 knowing how many cores the box actually had.
 
+BENCH_network.json scrapes the F5 lossy-link sweep (bench_f5_loss_sweep):
+recovery latency, retransmit volume and live-process intrusion per
+(loss rate x detector timeout) cell, run twice (--jobs 1 and --jobs N)
+with the BENCHJSON streams compared for byte-identity like the other
+F-benches. The bench itself exits nonzero if a lossy cell blocks a live
+process, so the report doubles as the graceful-degradation gate.
+
 Usage:
   tools/bench_report.py [--build-dir build] [--out BENCH_kernel.json]
                         [--recovery-out BENCH_recovery.json]
                         [--explore-out BENCH_explore.json]
+                        [--network-out BENCH_network.json]
                         [--jobs N] [--explore-runs N]
                         [--filter REGEX] [--baseline-from FILE]
                         [--skip-kernel] [--skip-recovery] [--skip-explore]
+                        [--skip-network]
 """
 
 import argparse
@@ -115,6 +124,41 @@ def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int
     return 0
 
 
+def write_network_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int) -> int:
+    binary = build / "bench" / "bench_f5_loss_sweep"
+    if not binary.exists():
+        print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
+        return 1
+    print(f"running bench_f5_loss_sweep (--jobs 1) ...", file=sys.stderr)
+    serial_rows, serial_s = scrape_benchjson(binary, 1)
+    parallel_rows, parallel_s = serial_rows, serial_s
+    if jobs > 1:
+        print(f"running bench_f5_loss_sweep (--jobs {jobs}) ...", file=sys.stderr)
+        parallel_rows, parallel_s = scrape_benchjson(binary, jobs)
+    identical = serial_rows == parallel_rows
+    if not identical:
+        print("error: parallel F5 BENCHJSON stream differs from serial", file=sys.stderr)
+    cells = []
+    for row in serial_rows:
+        cells.append({k: v for k, v in row.items() if k != "bench"})
+    report = {
+        "schema": 1,
+        "bench": "f5_loss_sweep",
+        "jobs": jobs,
+        "hardware_concurrency": os.cpu_count(),
+        "rows_byte_identical_across_jobs": identical,
+        "wall_clock_s": {"serial": round(serial_s, 3), "parallel": round(parallel_s, 3)},
+        "cells": cells,
+        # Lossy cells with live blocking make the bench exit nonzero, which
+        # scrape_benchjson turns into a CalledProcessError before we get here;
+        # reaching this line means every lossy cell degraded gracefully.
+        "graceful_degradation": True,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} ({len(cells)} sweep cells)", file=sys.stderr)
+    return 0 if identical else 1
+
+
 def time_sweep(rrcheck: pathlib.Path, jobs: int, runs: int) -> tuple[str, float]:
     """One truncated sweep; returns (stdout, wall-clock seconds)."""
     cmd = [
@@ -174,6 +218,7 @@ def main() -> int:
     ap.add_argument("--out", default=str(repo_root / "BENCH_kernel.json"))
     ap.add_argument("--recovery-out", default=str(repo_root / "BENCH_recovery.json"))
     ap.add_argument("--explore-out", default=str(repo_root / "BENCH_explore.json"))
+    ap.add_argument("--network-out", default=str(repo_root / "BENCH_network.json"))
     ap.add_argument(
         "--jobs",
         type=int,
@@ -190,6 +235,7 @@ def main() -> int:
     ap.add_argument("--skip-kernel", action="store_true")
     ap.add_argument("--skip-recovery", action="store_true")
     ap.add_argument("--skip-explore", action="store_true")
+    ap.add_argument("--skip-network", action="store_true")
     ap.add_argument(
         "--baseline-from",
         default=None,
@@ -208,6 +254,10 @@ def main() -> int:
         rc = write_explore_report(
             build, pathlib.Path(args.explore_out), args.jobs, args.explore_runs
         )
+        if rc != 0:
+            return rc
+    if not args.skip_network:
+        rc = write_network_report(build, pathlib.Path(args.network_out), args.jobs)
         if rc != 0:
             return rc
     if args.skip_kernel:

@@ -3,8 +3,11 @@
 //
 // Drives the simulator through a seeded matrix of fault schedules (timed
 // crashes, crashes pinned to protocol phase boundaries, packet drops,
-// delays and stale stragglers), then feeds every run's structured trace
-// through the history checker's proof-derived oracles V1–V8. On a failure
+// delays, stale stragglers, probabilistic link loss, duplication windows
+// and partition/flap schedules), then feeds every run's structured trace
+// through the history checker's proof-derived oracles V1–V9. Lossy and
+// partitioned schedules route protocol traffic through the reliable
+// transport, whose exactly-once guarantee is V9's subject. On a failure
 // the schedule is shrunk to a minimal repro and printed as a single
 // `--replay` line that re-executes the run bit-identically.
 //
@@ -38,8 +41,10 @@ namespace {
       "  --seed-bug           arm the seeded skip-gather-restart protocol bug;\n"
       "                       exit 0 iff the explorer catches and shrinks it\n"
       "  --replay LINE        re-execute one schedule (the format printed on\n"
-      "                       failure); exit 0 iff the run passes V1-V8\n"
+      "                       failure); exit 0 iff the run passes V1-V9\n"
       "  --list               print the matrix schedules without running\n"
+      "  --unreliable         restrict the matrix to lossy/partition schedules\n"
+      "                       (the ones that exercise the reliable transport)\n"
       "  --seeds N            seeds per grid cell (default 64)\n"
       "  --jobs N             worker threads for --sweep/--smoke/--seed-bug\n"
       "                       (default: hardware concurrency; 1 = serial).\n"
@@ -62,6 +67,7 @@ struct Options {
   std::uint64_t seeds = 64;
   unsigned jobs = 0;  // 0 = hardware concurrency
   std::uint64_t max_runs = 0;
+  bool unreliable_only = false;
   bool keep_going = false;
   bool verbose = false;
   bool debug = false;
@@ -104,6 +110,8 @@ Options parse_args(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
     } else if (arg == "--max-runs") {
       opt.max_runs = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--unreliable") {
+      opt.unreliable_only = true;
     } else if (arg == "--keep-going") {
       opt.keep_going = true;
     } else if (arg == "--verbose") {
@@ -180,6 +188,7 @@ int run_explore(const Options& opt) {
   eo.max_runs = opt.max_runs;
   eo.stop_on_failure = !opt.keep_going;
   eo.seed_bug = opt.mode == Options::Mode::kSeedBug;
+  eo.unreliable_only = opt.unreliable_only;
   eo.jobs = opt.jobs;
   if (opt.mode == Options::Mode::kSmoke && eo.max_runs == 0) eo.max_runs = 64;
 
