@@ -80,7 +80,10 @@ void BM_ControlMessageRoundTrip(benchmark::State& state) {
                          static_cast<Rsn>(i)},
         0xF});
   }
-  reply.marks_for_r[ProcessId{2}] = 55;
+  recovery::DepContribution contrib;
+  contrib.pid = ProcessId{2};
+  contrib.marks[ProcessId{2}] = 55;
+  reply.contribs = {contrib};
   const recovery::ControlMessage m = reply;
   for (auto _ : state) {
     const Bytes wire = recovery::encode_control(m);

@@ -42,6 +42,7 @@ runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
   cfg.replay_delivery_cost = microseconds(10);
   cfg.recovery.progress_period = milliseconds(200);
   cfg.recovery.phase_timeout = milliseconds(2500);
+  cfg.recovery.gather_arity = s.arity;
   cfg.recovery.bug_skip_gather_restart = s.seeded_bug;
   cfg.enable_trace = true;  // the checker needs the full structured history
   cfg.enable_spans = true;  // failure reports carry a flight-recorder dump
@@ -59,10 +60,13 @@ runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
   return cfg;
 }
 
-app::AppFactory explorer_workload() {
-  return [](ProcessId pid) {
+app::AppFactory explorer_workload(const FaultSchedule& s) {
+  // tokens=0 (every schedule line written before the key existed) keeps the
+  // historical one-token-per-process workload bit-for-bit.
+  const std::uint32_t seeded = s.tokens;
+  return [seeded](ProcessId pid) {
     app::GossipConfig cfg;
-    cfg.tokens_per_process = 1;
+    cfg.tokens_per_process = (seeded == 0 || pid.value < seeded) ? 1 : 0;
     cfg.payload_pad = 32;
     cfg.seed = 100 + pid.value;
     return std::make_unique<app::GossipApp>(cfg);
@@ -130,6 +134,11 @@ bool in_cluster(const Injection& inj, std::uint32_t n) {
     case Injection::Kind::kPartition:
     case Injection::Kind::kFlap:
       return inj.victim.value < n;
+    case Injection::Kind::kTreeCrash:
+      // Participant index must be resolvable in *some* gather (at most n-1
+      // participants); whether the firing round has that many is checked at
+      // resolution time.
+      return inj.index + 1 < n;
   }
   return false;
 }
@@ -143,7 +152,7 @@ std::string RunOutcome::brief() const {
 }
 
 RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capture) {
-  runtime::Cluster cluster(explorer_cluster(schedule), explorer_workload());
+  runtime::Cluster cluster(explorer_cluster(schedule), explorer_workload(schedule));
 
   struct HookState {
     const FaultSchedule* schedule;
@@ -167,16 +176,36 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
     const auto& sched = *st.schedule;
     for (std::size_t i = 0; i < sched.injections.size(); ++i) {
       const Injection& inj = sched.injections[i];
-      if (inj.kind != Injection::Kind::kPhaseCrash || st.fired[i]) continue;
-      if (inj.phase != info.phase || inj.occurrence != occurrence) continue;
-      if (!in_cluster(inj, sched.n)) continue;
-      const ProcessId victim = inj.victim == Injection::kFirer ? info.pid : inj.victim;
-      if (victim.value >= sched.n) continue;
-      st.fired[i] = true;
-      ++st.applied;
-      // schedule_at(now + delay): never re-enters the protocol state
-      // machine synchronously, even with delay == 0.
-      st.cluster->crash_at(victim, st.cluster->sim().now() + inj.delay);
+      if (st.fired[i] || !in_cluster(inj, sched.n)) continue;
+      if (inj.kind == Injection::Kind::kPhaseCrash) {
+        if (inj.phase != info.phase || inj.occurrence != occurrence) continue;
+        const ProcessId victim = inj.victim == Injection::kFirer ? info.pid : inj.victim;
+        if (victim.value >= sched.n) continue;
+        st.fired[i] = true;
+        ++st.applied;
+        // schedule_at(now + delay): never re-enters the protocol state
+        // machine synchronously, even with delay == 0.
+        st.cluster->crash_at(victim, st.cluster->sim().now() + inj.delay);
+      } else if (inj.kind == Injection::Kind::kTreeCrash) {
+        if (info.phase != recovery::PhaseId::kGatherStarted) continue;
+        if (inj.occurrence != occurrence) continue;
+        // Resolve the tree position against this round's participant set:
+        // every non-recovering pid in ascending order — the same sorted
+        // (all − R) both the leader and the relays compute, so index i
+        // here is exactly tree slot i+1 (the leader holds slot 0).
+        // Crashed-but-unregistered processes are still participants.
+        std::vector<ProcessId> participants;
+        for (std::uint32_t p = 0; p < sched.n; ++p) {
+          const ProcessId pid{p};
+          if (st.cluster->node(pid).recovering()) continue;
+          participants.push_back(pid);
+        }
+        if (inj.index >= participants.size()) continue;  // unresolvable this round
+        st.fired[i] = true;
+        ++st.applied;
+        st.cluster->crash_at(participants[inj.index],
+                             st.cluster->sim().now() + inj.delay);
+      }
     }
   });
 
@@ -527,6 +556,14 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
     inj.count = cycles;
     return inj;
   };
+  auto treecrash = [](std::uint64_t index, std::uint32_t k, Duration delay = kDurationZero) {
+    Injection inj;
+    inj.kind = Injection::Kind::kTreeCrash;
+    inj.index = index;
+    inj.occurrence = k;
+    inj.delay = delay;
+    return inj;
+  };
 
   std::vector<FaultSchedule> out;
   const std::uint64_t seeds = options.seeds_per_cell == 0 ? 1 : options.seeds_per_cell;
@@ -560,8 +597,8 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
 
   // The sweep grid. Every variant family below applies to each (cell, seed)
   // coordinate it is legal for (correlated crashes need f >= victims), so
-  // the matrix is cells × seeds × applicable variants: 250 variant rows
-  // across these six cells at 64 seeds each = 16000 schedules.
+  // the matrix is cells × seeds × applicable variants: 306 variant rows
+  // across these six cells at 64 seeds each = 19584 schedules.
   const Cell cells[] = {{4, 1}, {6, 1}, {4, 2}, {6, 2}, {8, 2}, {8, 3}};
   for (const Cell cell : cells) {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -692,8 +729,45 @@ std::vector<FaultSchedule> ScheduleExplorer::matrix(const ExploreOptions& option
         emit({crash(a, seconds(2)), crash(b, milliseconds(2020)), loss(c, a, 100000)});
       }
 
+      // --- gather-tree (scale) family, appended after the unreliable
+      // fabric so the canonical matrix prefix survives the growth. The
+      // same recoveries routed through a k-ary gather tree instead of the
+      // flat broadcast+collect: interior relays must aggregate, and a
+      // relay crash mid-gather must re-parent its subtree (or force a
+      // round restart) without breaking V1–V8.
+      for (const std::uint32_t arity : {2u, 3u}) {
+        auto emit_tree = [&](std::vector<Injection> injections) {
+          emit(std::move(injections));
+          variants.back().arity = arity;
+        };
+        // Plain recovery through the tree (relay aggregation only).
+        emit_tree({crash(a, seconds(2))});
+        // The leader itself dies with the tree armed: failover must
+        // rebuild the tree from the new leader.
+        emit_tree({crash(a, seconds(2)), pcrash(recovery::PhaseId::kGatherStarted, 1)});
+        if (cell.f >= 2) {
+          // A relay crash is a second overlapping failure: the victim is
+          // still recovering when the relay dies, and with pruning a
+          // determinant stops circulating at exactly f+1 holders — so at
+          // f = 1 this pair may legitimately lose determinants (same
+          // budget rule as the correlated-crash family above).
+          // First tree slot — an interior relay wherever n allows one —
+          // dies mid-gather: subtree re-parent or restart.
+          emit_tree({crash(a, seconds(2)), treecrash(0, 1)});
+          // A deeper slot (a leaf at these n), shortly after the gather
+          // starts, so the reply may already be in flight.
+          emit_tree({crash(a, seconds(2)), treecrash(2, 1, milliseconds(10))});
+        }
+        if (cell.f >= 3) {
+          // Concurrent recovery plus a relay crash in the same round:
+          // three overlapping failures.
+          emit_tree({crash(a, seconds(2)), crash(b, milliseconds(2300)), treecrash(0, 1)});
+        }
+      }
+
       for (FaultSchedule& s : variants) {
         if (options.unreliable_only && !s.needs_reliable()) continue;
+        if (options.scale_only && s.arity == 0) continue;
         out.push_back(std::move(s));
         if (options.max_runs != 0 && out.size() >= options.max_runs) return out;
       }

@@ -79,6 +79,10 @@ struct ExploreOptions {
   /// dup / partition / flap coordinates) — the stratified CI slice that
   /// exercises the reliable transport and the V9 oracle.
   bool unreliable_only{false};
+  /// Restrict the matrix to scale schedules (gather-tree arity set, with
+  /// treecrash coordinates) — the slice that exercises k-ary gather
+  /// relaying and subtree re-parenting.
+  bool scale_only{false};
   bool stop_on_failure{true};
   /// Shrink budget: schedule re-executions the minimiser may spend.
   std::uint32_t shrink_budget{64};

@@ -104,6 +104,16 @@ std::string to_string(const Injection& inj) {
                     static_cast<long long>(inj.at), static_cast<long long>(inj.delay),
                     inj.count);
       break;
+    case Injection::Kind::kTreeCrash:
+      if (inj.delay > 0) {
+        std::snprintf(buf, sizeof buf, "treecrash:%llu@%u+%lld",
+                      static_cast<unsigned long long>(inj.index), inj.occurrence,
+                      static_cast<long long>(inj.delay));
+      } else {
+        std::snprintf(buf, sizeof buf, "treecrash:%llu@%u",
+                      static_cast<unsigned long long>(inj.index), inj.occurrence);
+      }
+      break;
   }
   return buf;
 }
@@ -187,6 +197,17 @@ bool parse_injection(std::string_view s, Injection& out) {
       return false;
     }
     inj.count = static_cast<std::uint32_t>(v);
+  } else if (eat(s, "treecrash:")) {
+    inj.kind = Injection::Kind::kTreeCrash;
+    if (!eat_u64(s, inj.index) || !eat(s, "@") || !eat_u64(s, v) || v == 0 ||
+        v > 0xffffffffULL) {
+      return false;
+    }
+    inj.occurrence = static_cast<std::uint32_t>(v);
+    if (eat(s, "+")) {
+      if (!eat_u64(s, v)) return false;
+      inj.delay = static_cast<Duration>(v);
+    }
   } else if (s.starts_with("partition:") || s.starts_with("flap:")) {
     inj.kind = eat(s, "partition:") ? Injection::Kind::kPartition
                                     : (eat(s, "flap:"), Injection::Kind::kFlap);
@@ -256,6 +277,14 @@ std::string FaultSchedule::format() const {
     std::snprintf(buf, sizeof buf, ",restart=%lld", static_cast<long long>(restart));
     out += buf;
   }
+  if (arity != 0) {
+    std::snprintf(buf, sizeof buf, ",arity=%u", arity);
+    out += buf;
+  }
+  if (tokens != 0) {
+    std::snprintf(buf, sizeof buf, ",tokens=%u", tokens);
+    out += buf;
+  }
   if (seeded_bug) out += ",bug=skip-gather-restart";
   out += ",schedule=";
   for (std::size_t i = 0; i < injections.size(); ++i) {
@@ -296,10 +325,10 @@ bool FaultSchedule::parse(std::string_view text, FaultSchedule& out) {
       if (!eat_u64(rest, v) || !rest.empty()) return false;
       s.seed = v;
     } else if (key == "n") {
-      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 63) return false;
+      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 1024) return false;
       s.n = static_cast<std::uint32_t>(v);
     } else if (key == "f") {
-      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 63) return false;
+      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 1024) return false;
       s.f = static_cast<std::uint32_t>(v);
     } else if (key == "alg") {
       if (!parse_algorithm(value, s.algorithm)) return false;
@@ -312,6 +341,12 @@ bool FaultSchedule::parse(std::string_view text, FaultSchedule& out) {
     } else if (key == "restart") {
       if (!eat_u64(rest, v) || !rest.empty() || v == 0) return false;
       s.restart = static_cast<Duration>(v);
+    } else if (key == "arity") {
+      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 1024) return false;
+      s.arity = static_cast<std::uint32_t>(v);
+    } else if (key == "tokens") {
+      if (!eat_u64(rest, v) || !rest.empty() || v == 0 || v > 1024) return false;
+      s.tokens = static_cast<std::uint32_t>(v);
     } else if (key == "bug") {
       if (value != "skip-gather-restart") return false;
       s.seeded_bug = true;

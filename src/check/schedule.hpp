@@ -48,13 +48,20 @@
 //                                     at <t>+<d>
 //   flap:<pid>@<t>+<d>x<c>            <c> cycles of [isolated <d>, healed
 //                                     <d>] starting at <t> (a flapping link)
+//   treecrash:<i>@<k>[+<d>]           crash the <i>-th (0-based) gather-tree
+//                                     participant <d> after the k-th global
+//                                     gather-started firing — addresses tree
+//                                     positions (interior nodes, leaves)
+//                                     without hardcoding pids; resolved
+//                                     against the firing round's live set
 //
 // The loss/lossburst/dup/partition/flap coordinates degrade the fabric
 // below the paper's reliable-FIFO assumption, so running them implies the
 // reliable transport (FaultSchedule::needs_reliable(); the explorer enables
 // net::TransportConfig automatically).
 //
-// Optional key=value fields besides the cluster shape: `restart=<ns>` sets
+// Optional key=value fields besides the cluster shape: `arity=<k>` sets the
+// gather-tree fan-out (0 = flat broadcast+collect); `restart=<ns>` sets
 // the supervisor restart delay — stretch it past the failure-detector
 // timeout and a crashed leader stays silent long enough to be suspected,
 // which is what makes the next-ordinal failover reachable.
@@ -86,6 +93,8 @@ struct Injection {
     kDup,        ///< duplicate sends i..i+c-1 on one channel
     kPartition,  ///< bidirectional isolation of victim over [at, at+delay)
     kFlap,       ///< count cycles of [isolated delay][healed delay] from at
+    kTreeCrash,  ///< crash the index-th gather-tree participant at the
+                 ///< occurrence-th gather-started firing (+delay)
   };
 
   /// Wildcard victim for kPhaseCrash: crash whichever process fired the
@@ -105,7 +114,8 @@ struct Injection {
   ProcessId src{0};       ///< kDrop/kDelay/kStale/kLoss/kLossBurst/kDup: channel source
   ProcessId dst{0};       ///< kDrop/kDelay/kStale/kLoss/kLossBurst/kDup: channel destination
   std::uint64_t index{0}; ///< first affected send (channel) or op (storage) index;
-                          ///< kLoss: loss probability in parts per million (<= 1000000)
+                          ///< kLoss: loss probability in parts per million (<= 1000000);
+                          ///< kTreeCrash: 0-based participant index in the gather tree
   std::uint32_t count{1}; ///< kDrop/kDelay/kStall/kLossBurst/kDup: consecutive indices;
                           ///< kFlap: number of [down][up] cycles
 
@@ -135,6 +145,14 @@ struct FaultSchedule {
   /// be *suspected* — the only road to the paper's next-ordinal failover,
   /// since a restarting process re-announces itself immediately.
   Duration restart{milliseconds(600)};
+  /// Gather-tree fan-out (`arity=<k>`, optional): RecoveryConfig::
+  /// gather_arity. 0 = the flat broadcast+collect the paper describes.
+  std::uint32_t arity{0};
+  /// Sparse workload (`tokens=<k>`, optional): only the first k processes
+  /// seed a gossip token, so large-n schedules keep the application load
+  /// fixed instead of O(n). 0 = the historical one-token-per-process
+  /// workload — every existing schedule line is unchanged.
+  std::uint32_t tokens{0};
   /// Arms RecoveryConfig::bug_skip_gather_restart (the deliberately seeded
   /// protocol bug the explorer exists to catch).
   bool seeded_bug{false};

@@ -2,6 +2,19 @@
 
 namespace rr::fbl {
 
+namespace {
+
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
 void Determinant::encode(BufWriter& w) const {
   w.process_id(source);
   w.u64(ssn);
@@ -25,14 +38,39 @@ std::string to_string(const Determinant& d) {
 
 void HeldDeterminant::encode(BufWriter& w) const {
   det.encode(w);
-  w.u64(holders);
+  w.varint(static_cast<std::uint64_t>(holders.count()));
+  for (std::size_t wi = 0; wi < HolderMask::kWords; ++wi) {
+    std::uint64_t word = holders.w[wi];
+    while (word != 0) {
+      w.varint(wi * 64 + static_cast<std::uint64_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
 }
 
 HeldDeterminant HeldDeterminant::decode(BufReader& r) {
   HeldDeterminant h;
   h.det = Determinant::decode(r);
-  h.holders = r.u64();
+  const std::uint64_t n = r.count(1);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const std::uint64_t i = r.varint();
+    if (i >= HolderMask::kBits) throw SerdeError("holder bit out of range");
+    h.holders.set(static_cast<std::uint32_t>(i));
+  }
   return h;
+}
+
+std::size_t HeldDeterminant::wire_bytes() const {
+  std::size_t n =
+      Determinant::kWireBytes + varint_size(static_cast<std::uint64_t>(holders.count()));
+  for (std::size_t wi = 0; wi < HolderMask::kWords; ++wi) {
+    std::uint64_t word = holders.w[wi];
+    while (word != 0) {
+      n += varint_size(wi * 64 + static_cast<std::uint64_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+  return n;
 }
 
 }  // namespace rr::fbl

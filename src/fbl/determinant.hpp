@@ -9,13 +9,17 @@
 // reproduces.
 //
 // HolderMask tracks which processes are known to have a determinant in
-// their volatile logs, as a bitmask by ProcessId (so n ≤ 63). Bit 63 is the
+// their volatile logs, as a fixed-width bitset indexed by ProcessId (up to
+// kMaxProcesses = 1024, the scale-sweep ceiling). Bit 1024 is the
 // stable-storage pseudo-holder used by the f = n instance (Manetho-style):
 // the paper models stable storage as "an additional process that never
 // fails", and a determinant held there is recoverable under any number of
-// crash failures.
+// crash failures. On the wire a mask travels as a sparse varint list of set
+// bit indices — at the f+1 propagation bound a mask has at most f+2 bits,
+// so the sparse form stays O(f) however large n grows.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -24,26 +28,79 @@
 
 namespace rr::fbl {
 
-using HolderMask = std::uint64_t;
+/// Highest ProcessId usable as a holder bit.
+inline constexpr std::uint32_t kMaxProcesses = 1024;
 
 /// Stable storage pseudo-holder (never fails).
-inline constexpr int kStableHolderBit = 63;
-inline constexpr HolderMask kStableHolder = HolderMask{1} << kStableHolderBit;
+inline constexpr std::uint32_t kStableHolderBit = kMaxProcesses;
 
-/// Highest ProcessId usable as a holder bit.
-inline constexpr std::uint32_t kMaxProcesses = 63;
+struct HolderMask {
+  static constexpr std::uint32_t kBits = kMaxProcesses + 1;  // + stable bit
+  static constexpr std::size_t kWords = (kBits + 63) / 64;
+  std::array<std::uint64_t, kWords> w{};
+
+  constexpr HolderMask() = default;
+  /// Implicit from an integer low word, so `HolderMask m = 0;` and
+  /// comparisons against literal 0 keep working at every call site.
+  constexpr HolderMask(std::uint64_t low) { w[0] = low; }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static constexpr HolderMask bit(std::uint32_t i) {
+    HolderMask m;
+    m.w[i >> 6] = std::uint64_t{1} << (i & 63);
+    return m;
+  }
+
+  constexpr void set(std::uint32_t i) { w[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  [[nodiscard]] constexpr bool test(std::uint32_t i) const {
+    return ((w[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+  [[nodiscard]] constexpr int count() const {
+    int c = 0;
+    for (const std::uint64_t word : w) c += __builtin_popcountll(word);
+    return c;
+  }
+  [[nodiscard]] constexpr bool any() const {
+    for (const std::uint64_t word : w) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+
+  friend constexpr HolderMask operator|(HolderMask a, const HolderMask& b) {
+    for (std::size_t i = 0; i < kWords; ++i) a.w[i] |= b.w[i];
+    return a;
+  }
+  friend constexpr HolderMask operator&(HolderMask a, const HolderMask& b) {
+    for (std::size_t i = 0; i < kWords; ++i) a.w[i] &= b.w[i];
+    return a;
+  }
+  friend constexpr HolderMask operator~(HolderMask a) {
+    for (std::size_t i = 0; i < kWords; ++i) a.w[i] = ~a.w[i];
+    return a;
+  }
+  constexpr HolderMask& operator|=(const HolderMask& b) {
+    for (std::size_t i = 0; i < kWords; ++i) w[i] |= b.w[i];
+    return *this;
+  }
+  constexpr HolderMask& operator&=(const HolderMask& b) {
+    for (std::size_t i = 0; i < kWords; ++i) w[i] &= b.w[i];
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(const HolderMask&, const HolderMask&) = default;
+};
+
+inline constexpr HolderMask kStableHolder = HolderMask::bit(kStableHolderBit);
 
 [[nodiscard]] constexpr HolderMask holder_bit(ProcessId p) {
-  return HolderMask{1} << p.value;
+  return HolderMask::bit(p.value);
 }
 
-[[nodiscard]] constexpr bool holds(HolderMask m, ProcessId p) {
-  return (m & holder_bit(p)) != 0;
+[[nodiscard]] constexpr bool holds(const HolderMask& m, ProcessId p) {
+  return m.test(p.value);
 }
 
-[[nodiscard]] constexpr int holder_count(HolderMask m) {
-  return __builtin_popcountll(m);
-}
+[[nodiscard]] constexpr int holder_count(const HolderMask& m) { return m.count(); }
 
 struct Determinant {
   ProcessId source;  ///< sender of the message
@@ -73,7 +130,12 @@ struct HeldDeterminant {
   void encode(BufWriter& w) const;
   [[nodiscard]] static HeldDeterminant decode(BufReader& r);
 
-  static constexpr std::size_t kWireBytes = Determinant::kWireBytes + 8;
+  /// Exact encoded size (the holder list is sparse, so it varies).
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+  /// Smallest possible encoding (empty holder list) — the per-element
+  /// bound allocation guards use when decoding counted lists.
+  static constexpr std::size_t kMinWireBytes = Determinant::kWireBytes + 1;
 };
 
 }  // namespace rr::fbl

@@ -92,7 +92,14 @@ std::vector<HeldDeterminant> DeterminantLog::piggyback_for(ProcessId to) const {
   return out;
 }
 
-std::vector<HeldDeterminant> DeterminantLog::slice_for(HolderMask dests) const {
+std::vector<HeldDeterminant> DeterminantLog::piggyback_all() const {
+  std::vector<HeldDeterminant> out;
+  out.reserve(active_.size());
+  for (const Key& key : active_) out.push_back(by_dest_rsn_.at(key));
+  return out;
+}
+
+std::vector<HeldDeterminant> DeterminantLog::slice_for(const HolderMask& dests) const {
   std::vector<HeldDeterminant> out;
   for (const auto& [key, h] : by_dest_rsn_) {
     if (holds(dests, h.det.dest)) out.push_back(h);

@@ -58,9 +58,14 @@ class DeterminantLog {
   /// those already known to be held by `to`. Ordered by (dest, rsn).
   [[nodiscard]] std::vector<HeldDeterminant> piggyback_for(ProcessId to) const;
 
+  /// The whole active set, ignoring per-destination knowledge — the
+  /// un-pruned baseline the scale bench contrasts against. Ordered by
+  /// (dest, rsn).
+  [[nodiscard]] std::vector<HeldDeterminant> piggyback_all() const;
+
   /// All determinants destined to any process in `dests` — the depinfo
   /// slice for a recovery whose recovering set is `dests`.
-  [[nodiscard]] std::vector<HeldDeterminant> slice_for(HolderMask dests) const;
+  [[nodiscard]] std::vector<HeldDeterminant> slice_for(const HolderMask& dests) const;
 
   /// Determinants destined to this log's owner with rsn > `after`, in rsn
   /// order — the replay schedule.

@@ -21,23 +21,32 @@ LoggingEngine::SendResult LoggingEngine::make_frame(ProcessId to, Bytes payload,
   AppFrame frame;
   frame.inc = inc;
   frame.ssn = ++send_seq_[to];
-  frame.dets = det_log_.piggyback_for(to);
+  frame.dets = config_.prune_piggyback ? det_log_.piggyback_for(to) : det_log_.piggyback_all();
   frame.payload = payload;
 
   // Sender-based logging: the payload lives in our volatile store until the
   // receiver checkpoints past it.
   send_log_.record(to, frame.ssn, std::move(payload));
 
-  // Reliable FIFO channel: once handed to the transport, `to` will log the
-  // piggybacked determinants unless it crashes — and a crash consumes one
-  // unit of the f-failure budget, which the f+1 rule already covers. So we
-  // may count `to` as a holder immediately (see determinant_log.hpp).
+  SendResult out;
+
+  // Perfect FIFO fabric: once handed over, `to` will log the piggybacked
+  // determinants unless it crashes — and a crash consumes one unit of the
+  // f-failure budget, which the f+1 rule already covers. So `to` counts as
+  // a holder immediately (see determinant_log.hpp). On a lossy fabric that
+  // argument fails (a dropped frame's retransmission state is volatile and
+  // dies with *us*), so the local mark waits for delivery confirmation.
+  // Either way the wire copy may claim the `to` bit: that claim is only
+  // ever read by `to` itself, after delivery — at which point it is true.
   for (auto& h : frame.dets) {
-    det_log_.add_holders(h.det, holder_bit(to));
+    if (config_.defer_holder_mark) {
+      out.attached.push_back(h.det);
+    } else {
+      det_log_.add_holders(h.det, holder_bit(to));
+    }
     h.holders |= holder_bit(to);
   }
 
-  SendResult out;
   out.ssn = frame.ssn;
   out.piggyback_count = frame.dets.size();
   out.piggyback_bytes = frame.piggyback_bytes();
@@ -52,18 +61,26 @@ std::optional<LoggingEngine::SendResult> LoggingEngine::retransmit_frame(Process
   AppFrame frame;
   frame.inc = inc;
   frame.ssn = ssn;
-  frame.dets = det_log_.piggyback_for(to);
+  frame.dets = config_.prune_piggyback ? det_log_.piggyback_for(to) : det_log_.piggyback_all();
   frame.payload = *payload;
+  SendResult out;
   for (auto& h : frame.dets) {
-    det_log_.add_holders(h.det, holder_bit(to));
+    if (config_.defer_holder_mark) {
+      out.attached.push_back(h.det);
+    } else {
+      det_log_.add_holders(h.det, holder_bit(to));
+    }
     h.holders |= holder_bit(to);
   }
-  SendResult out;
   out.ssn = ssn;
   out.piggyback_count = frame.dets.size();
   out.piggyback_bytes = frame.piggyback_bytes();
   out.frame = frame.encode();
   return out;
+}
+
+void LoggingEngine::confirm_piggyback(ProcessId to, const std::vector<Determinant>& dets) {
+  for (const Determinant& d : dets) det_log_.add_holders(d, holder_bit(to));
 }
 
 LoggingEngine::AcceptResult LoggingEngine::accept(ProcessId from, const AppFrame& frame,

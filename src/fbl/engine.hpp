@@ -40,6 +40,24 @@ struct EngineConfig {
   /// Failures to tolerate; 1 <= f <= num_processes. f == num_processes
   /// enables the stable-storage pseudo-holder (Manetho-style instance).
   std::uint32_t f{1};
+  /// Piggyback pruning (default on): attach only determinants the
+  /// destination is not already known to hold. Off = the un-pruned
+  /// baseline — every active determinant rides on every frame — kept as
+  /// the O(n) contrast for the scale bench and the equivalence property
+  /// test. Pruning changes which *copies* travel, never which receipt
+  /// orders exist, so delivered order is bit-identical either way.
+  bool prune_piggyback{true};
+  /// Set when the reliable transport is in play (lossy fabric): a handed-off
+  /// frame is no longer guaranteed to arrive — its retransmission state is
+  /// volatile and dies with us — so counting the destination as a
+  /// determinant holder at send time would let the f+1 rule be satisfied by
+  /// copies that never existed. Deferred mode leaves the local holder mask
+  /// untouched at make_frame/retransmit_frame time and reports the attached
+  /// determinants in SendResult::attached; the runtime confirms them via
+  /// confirm_piggyback() once the transport's cumulative ack covers the
+  /// frame. Off (perfect FIFO fabric): first transmission is delivery, the
+  /// paper's argument applies, mark immediately.
+  bool defer_holder_mark{false};
 };
 
 class LoggingEngine {
@@ -53,6 +71,9 @@ class LoggingEngine {
     Bytes frame;                  ///< encoded AppFrame ready for the wire
     std::size_t piggyback_count{0};
     std::size_t piggyback_bytes{0};
+    /// Determinants piggybacked on the frame whose holder marking is
+    /// deferred to delivery confirmation (defer_holder_mark only).
+    std::vector<Determinant> attached;
   };
 
   /// Build the frame for an application send and log the payload.
@@ -85,6 +106,12 @@ class LoggingEngine {
   /// except stale frames (the knowledge is valid; only the payload is
   /// redundant or early).
   AcceptResult accept(ProcessId from, const AppFrame& frame, const IncVector& incvector);
+
+  /// Delivery confirmation for a frame that piggybacked `dets` toward `to`
+  /// (defer_holder_mark mode): the copies are now logged at the
+  /// destination, count it as a holder. Determinants GC'd in the meantime
+  /// are skipped.
+  void confirm_piggyback(ProcessId to, const std::vector<Determinant>& dets);
 
   /// Re-deliver a logged receipt during recovery: must reproduce exactly
   /// `det` as the next receipt (aborts otherwise). Records the determinant

@@ -9,7 +9,7 @@ FrameKind decode_kind(BufReader& r) {
 }
 
 Bytes AppFrame::encode() const {
-  BufWriter w(payload.size() + dets.size() * HeldDeterminant::kWireBytes + 32);
+  BufWriter w(payload.size() + piggyback_bytes() + 32);
   w.u8(static_cast<std::uint8_t>(FrameKind::kApp));
   w.u32(inc);
   w.u64(ssn);
@@ -23,7 +23,7 @@ AppFrame AppFrame::decode(BufReader& r) {
   AppFrame f;
   f.inc = r.u32();
   f.ssn = r.u64();
-  const auto n = r.count(HeldDeterminant::kWireBytes);
+  const auto n = r.count(HeldDeterminant::kMinWireBytes);
   f.dets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) f.dets.push_back(HeldDeterminant::decode(r));
   f.payload = r.bytes();

@@ -41,7 +41,9 @@ struct AppFrame {
 
   /// Bytes the piggybacked determinants contribute (overhead accounting).
   [[nodiscard]] std::size_t piggyback_bytes() const {
-    return dets.size() * HeldDeterminant::kWireBytes;
+    std::size_t n = 0;
+    for (const HeldDeterminant& d : dets) n += d.wire_bytes();
+    return n;
   }
 };
 

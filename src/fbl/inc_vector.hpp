@@ -57,4 +57,37 @@ inline void encode(BufWriter& w, const IncVector& v) {
   return v;
 }
 
+/// Versioned incvector delta. At scale the leader's incvector holds O(n)
+/// entries while a round typically raises O(f) floors, so DepRequests carry
+/// only the entries changed since `base_version` — the lowest version every
+/// targeted participant has confirmed. `full` snapshots reset the version
+/// tracking (first contact, incarnation bump on either side, or a receiver
+/// that reported a gap). Applying `entries` is merge-max and therefore
+/// always safe, even when the receiver's baseline is older than
+/// `base_version`; the receiver just flags the gap so the leader falls back
+/// to a full snapshot next time.
+struct IncDelta {
+  std::uint64_t base_version{0};  ///< receiver must hold at least this (unless full)
+  std::uint64_t version{0};       ///< version the receiver holds after applying
+  bool full{true};                ///< entries are the whole vector
+  IncVector entries;
+  friend bool operator==(const IncDelta&, const IncDelta&) = default;
+};
+
+inline void encode(BufWriter& w, const IncDelta& d) {
+  w.varint(d.base_version);
+  w.varint(d.version);
+  w.boolean(d.full);
+  encode(w, d.entries);
+}
+
+[[nodiscard]] inline IncDelta decode_inc_delta(BufReader& r) {
+  IncDelta d;
+  d.base_version = r.varint();
+  d.version = r.varint();
+  d.full = r.boolean();
+  d.entries = decode_inc_vector(r);
+  return d;
+}
+
 }  // namespace rr::fbl

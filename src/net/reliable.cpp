@@ -69,9 +69,10 @@ std::size_t ReliableTransport::send(ProcessId dst, Bytes payload) {
   if (created) ch.rto = config_.rto_initial;
 
   const std::uint64_t seq = ch.next_seq++;
+  const std::uint64_t msg = ch.next_msg++;
   Bytes wire = wrap(ch, seq, payload);
   BufferPool::global().release(std::move(payload));
-  ch.unacked.push_back({seq, BufferPool::global().copy_of(wire)});
+  ch.unacked.push_back({seq, msg, BufferPool::global().copy_of(wire)});
   // While the peer is unreachable only the queue head probes the link:
   // letting a fresh frame race ahead of the queued backlog would both break
   // the bounded-traffic promise and, on a channel the receiver has no state
@@ -202,7 +203,9 @@ void ReliableTransport::on_ack(ProcessId src, const Bytes& payload) {
   ch.peer_epoch = std::max(ch.peer_epoch, acker_epoch);
   if (epoch_echo != epoch_ || stream_echo != ch.stream) return;  // stale ack
   bool progressed = false;
+  std::uint64_t acked_msg = 0;
   while (!ch.unacked.empty() && ch.unacked.front().seq <= cum) {
+    acked_msg = ch.unacked.front().msg;
     BufferPool::global().release(std::move(ch.unacked.front().wire));
     ch.unacked.pop_front();
     progressed = true;
@@ -218,6 +221,9 @@ void ReliableTransport::on_ack(ProcessId src, const Bytes& payload) {
   if (ch.timer.valid()) sim_.cancel(ch.timer);
   ch.timer = sim::kNoEvent;
   if (!ch.unacked.empty()) arm_timer(src, ch, ch.rto);
+  // Last: the upcall may re-enter the transport (confirming delivery can
+  // trigger new sends), so no channel references are held across it.
+  if (ack_signal_) ack_signal_(src, acked_msg);
 }
 
 void ReliableTransport::deliver_up(ProcessId src, Bytes payload, std::size_t offset) {
@@ -377,6 +383,11 @@ void ReliableTransport::reset(Incarnation epoch) {
   for (auto& [peer, ch] : recv_) clear_recv(ch);
   recv_.clear();
   epoch_ = epoch;
+}
+
+std::uint64_t ReliableTransport::last_sent_msg(ProcessId dst) const {
+  const auto it = send_.find(dst);
+  return it == send_.end() ? 0 : it->second.next_msg - 1;
 }
 
 ReliableTransport::ChannelAudit ReliableTransport::send_audit(ProcessId dst) const {

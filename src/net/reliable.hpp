@@ -74,6 +74,15 @@ class ReliableTransport {
   /// Reachability edge: `unreachable` flips true after max_retries timeouts
   /// and back to false on the next ack from the peer.
   using PeerSignal = std::function<void(ProcessId peer, bool unreachable)>;
+  /// Delivery confirmation: every data frame accepted by send() gets a
+  /// per-destination message index (1, 2, ... — stable across stream
+  /// restarts, unlike the wire seq). The signal fires when the peer's
+  /// cumulative ack newly covers `msg` and everything before it. Note the
+  /// confirmation is about the *channel*: a peer that restarts mid-stream
+  /// acks the backlog positionally without having delivered it, so
+  /// consumers must treat a confirmed-then-crashed peer as lossy (the
+  /// recovery protocol's forget-holder pass does exactly that).
+  using AckSignal = std::function<void(ProcessId dst, std::uint64_t msg)>;
 
   /// First wire byte of a transport data / ack frame. Chosen outside the
   /// fbl::FrameKind range so raw (unwrapped) frames pass through untouched.
@@ -89,6 +98,7 @@ class ReliableTransport {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_peer_signal(PeerSignal fn) { peer_signal_ = std::move(fn); }
+  void set_ack_signal(AckSignal fn) { ack_signal_ = std::move(fn); }
 
   /// Never wrap traffic to `peer` (infrastructure endpoints like the
   /// ordinal service speak their own raw protocol).
@@ -99,6 +109,11 @@ class ReliableTransport {
   /// fabric swallowed it — the retransmit timer still runs). Passthrough
   /// when disabled or `dst` is a raw peer.
   std::size_t send(ProcessId dst, Bytes payload);
+
+  /// Message index assigned to the most recent send() toward `dst` (the
+  /// AckSignal's currency); 0 if nothing was ever channeled that way
+  /// (transport disabled, raw peer, or no sends yet).
+  [[nodiscard]] std::uint64_t last_sent_msg(ProcessId dst) const;
 
   /// Unconditional passthrough (heartbeats: retransmitting a liveness
   /// signal would invert its meaning).
@@ -136,11 +151,13 @@ class ReliableTransport {
  private:
   struct Unacked {
     std::uint64_t seq;
-    Bytes wire;  // full transport frame, ready to retransmit
+    std::uint64_t msg;  // stable per-destination index (survives re-wrapping)
+    Bytes wire;         // full transport frame, ready to retransmit
   };
   struct SendChannel {
     std::uint64_t stream{1};
     std::uint64_t next_seq{1};
+    std::uint64_t next_msg{1};
     std::uint64_t acked{0};
     /// Highest incarnation this peer has announced in its acks (0 =
     /// unknown). Lets a one-directional channel detect the peer's restart
@@ -184,6 +201,7 @@ class ReliableTransport {
   Rng jitter_rng_;
   DeliverFn deliver_;
   PeerSignal peer_signal_;
+  AckSignal ack_signal_;
   Incarnation epoch_{0};
   std::vector<ProcessId> raw_peers_;  // sorted
   std::unordered_map<ProcessId, SendChannel> send_;

@@ -219,6 +219,7 @@ void SpanTracer::on_phase(Time now, const recovery::PhaseEventInfo& info) {
       break;
     case recovery::PhaseId::kOrdAssigned:
     case recovery::PhaseId::kOrdRetired:
+    case recovery::PhaseId::kSubtreeReparented:
       // Registry instants, not intervals; V8 consumes them from the trace.
       break;
   }

@@ -54,10 +54,38 @@ void encode_dets(BufWriter& w, const std::vector<fbl::HeldDeterminant>& dets) {
 
 std::vector<fbl::HeldDeterminant> decode_dets(BufReader& r) {
   std::vector<fbl::HeldDeterminant> dets;
-  const auto n = r.count(fbl::HeldDeterminant::kWireBytes);
+  const auto n = r.count(fbl::HeldDeterminant::kMinWireBytes);
   dets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) dets.push_back(fbl::HeldDeterminant::decode(r));
   return dets;
+}
+
+void encode_contribs(BufWriter& w, const std::vector<DepContribution>& contribs) {
+  w.varint(contribs.size());
+  for (const auto& c : contribs) {
+    w.process_id(c.pid);
+    w.u32(c.inc);
+    w.varint(c.incv_version);
+    w.boolean(c.incv_resync);
+    fbl::encode(w, c.marks);
+  }
+}
+
+std::vector<DepContribution> decode_contribs(BufReader& r) {
+  std::vector<DepContribution> contribs;
+  // pid + inc + version varint + resync flag + watermark count varint
+  const auto n = r.count(4 + 4 + 1 + 1 + 1);
+  contribs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DepContribution c;
+    c.pid = r.process_id();
+    c.inc = r.u32();
+    c.incv_version = r.varint();
+    c.incv_resync = r.boolean();
+    c.marks = fbl::decode_watermarks(r);
+    contribs.push_back(std::move(c));
+  }
+  return contribs;
 }
 
 struct Encoder {
@@ -93,7 +121,10 @@ struct Encoder {
     w.u64(m.round);
     w.boolean(m.block);
     w.boolean(m.defer);
-    fbl::encode(w, m.incvector);
+    w.process_id(m.leader);
+    w.u32(m.leader_inc);
+    w.varint(m.arity);
+    fbl::encode(w, m.delta);
     w.varint(m.recovering.size());
     for (const ProcessId p : m.recovering) w.process_id(p);
   }
@@ -101,7 +132,7 @@ struct Encoder {
     tag(CtrlKind::kDepReply);
     w.u64(m.round);
     encode_dets(w, m.dets);
-    fbl::encode(w, m.marks_for_r);
+    encode_contribs(w, m.contribs);
   }
   void operator()(const DepInstall& m) {
     tag(CtrlKind::kDepInstall);
@@ -199,7 +230,10 @@ ControlMessage decode_control(BufReader& r) {
       m.round = r.u64();
       m.block = r.boolean();
       m.defer = r.boolean();
-      m.incvector = fbl::decode_inc_vector(r);
+      m.leader = r.process_id();
+      m.leader_inc = r.u32();
+      m.arity = static_cast<std::uint32_t>(r.varint());
+      m.delta = fbl::decode_inc_delta(r);
       const auto n = r.count(4);  // one pid each
       m.recovering.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m.recovering.push_back(r.process_id());
@@ -209,7 +243,7 @@ ControlMessage decode_control(BufReader& r) {
       DepReply m;
       m.round = r.u64();
       m.dets = decode_dets(r);
-      m.marks_for_r = fbl::decode_watermarks(r);
+      m.contribs = decode_contribs(r);
       return m;
     }
     case CtrlKind::kDepInstall: {

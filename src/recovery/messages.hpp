@@ -78,16 +78,39 @@ struct DepRequest {
   /// reference receipt orders of recovering processes, and write the
   /// DepReply to stable storage before sending it (paper §2.2).
   bool defer{false};
-  fbl::IncVector incvector;
+  ProcessId leader;         ///< round leader (tree root; relays forward for it)
+  Incarnation leader_inc{0};  ///< scopes delta versions; a restarted leader resyncs
+  /// Gather-tree fan-out: receivers compute the tree over the sorted live
+  /// participants and forward the request to their children. 0 = flat
+  /// broadcast+collect (every participant replies straight to the leader).
+  std::uint32_t arity{0};
+  /// Incvector as a versioned delta against what this leader last had the
+  /// receiver confirm (full snapshot on first contact or after a resync).
+  /// The blocking baseline sends an empty full delta — stillness, not
+  /// floors, is its safety argument.
+  fbl::IncDelta delta;
   std::vector<ProcessId> recovering;  ///< R members this round covers
+};
+
+/// One participant's share of a DepReply. The tree gather aggregates many
+/// contributions into a single reply per subtree; determinants merge at the
+/// message level (they are a set), while the per-participant fields ride in
+/// the contribution list so the leader still sees every replier.
+struct DepContribution {
+  ProcessId pid;
+  Incarnation inc{0};             ///< contributor's own incarnation
+  std::uint64_t incv_version{0};  ///< leader-incvector version now held
+  bool incv_resync{false};        ///< delta baseline missed; leader must send full
+  /// Contributor's receive watermarks restricted to sources in R (what it
+  /// has already delivered from each recovering process).
+  fbl::Watermarks marks;
+  friend bool operator==(const DepContribution&, const DepContribution&) = default;
 };
 
 struct DepReply {
   std::uint64_t round{0};
-  std::vector<fbl::HeldDeterminant> dets;  ///< replier's depinfo, dest ∈ R
-  /// Replier's receive watermarks restricted to sources in R (what it has
-  /// already delivered from each recovering process).
-  fbl::Watermarks marks_for_r;
+  std::vector<fbl::HeldDeterminant> dets;  ///< depinfo merged across the subtree
+  std::vector<DepContribution> contribs;   ///< one per participant reached
 };
 
 struct DepInstall {

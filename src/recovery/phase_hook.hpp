@@ -32,8 +32,13 @@ enum class PhaseId : std::uint8_t {
   kDepinfoCollected = 5,///< every depinfo reply arrived; install being built
   kGatherRestarted = 6, ///< round abandoned (target died / phase timeout)
   kReplayStarted = 7,   ///< install applied; replay engine begins delivery
-  kOrdAssigned = 8,     ///< ord service registered `subject` (fired by 999)
+  kOrdAssigned = 8,     ///< ord service registered `subject` (fired by the ord service)
   kOrdRetired = 9,      ///< ord service retired `subject`'s registration
+  /// Tree gather only: a relay (or the leader) lost a child to suspicion
+  /// and re-attached the child's subtree directly under itself; `subject`
+  /// is the suspected child. The round itself survives — a genuinely
+  /// crashed child still forces kGatherRestarted when it re-registers.
+  kSubtreeReparented = 10,
 };
 
 [[nodiscard]] const char* to_string(PhaseId id);
@@ -41,7 +46,7 @@ enum class PhaseId : std::uint8_t {
 [[nodiscard]] bool parse_phase(const char* name, PhaseId& out);
 
 struct PhaseEventInfo {
-  ProcessId pid;       ///< process the state machine runs on (999 = ord svc)
+  ProcessId pid;       ///< process the state machine runs on (kOrdServiceId = ord svc)
   PhaseId phase{PhaseId::kLeaderElected};
   std::uint64_t round{0};  ///< leader round id (0 when not round-scoped)
   Ord ord{0};              ///< firing process's ordinal (or assigned ord)
@@ -61,6 +66,7 @@ inline const char* to_string(PhaseId id) {
     case PhaseId::kReplayStarted: return "replay-started";
     case PhaseId::kOrdAssigned: return "ord-assigned";
     case PhaseId::kOrdRetired: return "ord-retired";
+    case PhaseId::kSubtreeReparented: return "subtree-reparented";
   }
   return "?";
 }
@@ -69,7 +75,8 @@ inline bool parse_phase(const char* name, PhaseId& out) {
   for (const PhaseId id :
        {PhaseId::kLeaderElected, PhaseId::kLeaderFailover, PhaseId::kGatherStarted,
         PhaseId::kIncVectorBuilt, PhaseId::kDepinfoCollected, PhaseId::kGatherRestarted,
-        PhaseId::kReplayStarted, PhaseId::kOrdAssigned, PhaseId::kOrdRetired}) {
+        PhaseId::kReplayStarted, PhaseId::kOrdAssigned, PhaseId::kOrdRetired,
+        PhaseId::kSubtreeReparented}) {
     if (std::string_view{name} == to_string(id)) {
       out = id;
       return true;

@@ -8,6 +8,52 @@
 
 namespace rr::recovery {
 
+namespace {
+
+// Gather tree (RecoveryConfig::gather_arity): a BFS-complete k-ary tree over
+// the array [leader] + participants, where `participants` is the sorted
+// live set every side derives identically from (all processes − R). Node j's
+// children sit at indices j*k+1 .. j*k+k. Index 0 is the leader; participant
+// i sits at index i+1.
+
+std::size_t tree_index_of(const std::vector<ProcessId>& participants, ProcessId pid) {
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i] == pid) return i + 1;
+  }
+  return 0;  // not a participant (caller treats as "no tree position")
+}
+
+std::vector<ProcessId> tree_children(const std::vector<ProcessId>& participants,
+                                     std::size_t node_index, std::uint32_t arity) {
+  std::vector<ProcessId> kids;
+  const std::size_t total = participants.size() + 1;
+  for (std::size_t c = node_index * arity + 1; c <= node_index * arity + arity && c < total;
+       ++c) {
+    kids.push_back(participants[c - 1]);
+  }
+  return kids;
+}
+
+/// Every participant in the subtree rooted at `root` (inclusive).
+std::vector<ProcessId> tree_subtree(const std::vector<ProcessId>& participants, ProcessId root,
+                                    std::uint32_t arity) {
+  std::vector<ProcessId> out;
+  const std::size_t r = tree_index_of(participants, root);
+  if (r == 0) return out;
+  const std::size_t total = participants.size() + 1;
+  std::vector<std::size_t> queue{r};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t j = queue[qi];
+    out.push_back(participants[j - 1]);
+    for (std::size_t c = j * arity + 1; c <= j * arity + arity && c < total; ++c) {
+      queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 const char* to_string(Algorithm a) {
   switch (a) {
     case Algorithm::kNonBlocking: return "non-blocking";
@@ -44,6 +90,14 @@ void RecoveryManager::reset_for_restart() {
   ord_ = 0;
   round_.reset();
   covered_.clear();
+  // Delta-versioning state is volatile on both sides: our version counter
+  // restarts at 0 and peers' stale confirmations are invalidated by the
+  // incarnation bump (leader_inc mismatch forces full snapshots).
+  incv_version_ = 0;
+  incv_changed_at_.clear();
+  leader_incv_seen_.clear();
+  confirmed_.clear();
+  relay_.reset();
 }
 
 void RecoveryManager::begin_recovery() {
@@ -65,7 +119,8 @@ void RecoveryManager::on_replay_complete() {
   recovering_ = false;
   installed_ = false;
   round_.reset();
-  progress_timer_.stop();
+  // Keep ticking while an interior-relay watchdog still needs us.
+  if (!relay_) progress_timer_.stop();
   metrics_.counter("recovery.completed").add();
   // Built by the node from the logging engine (post-replay watermarks).
   // RecoveryComplete retires us at the ord service, raises everyone's
@@ -114,11 +169,19 @@ void RecoveryManager::on_control(ProcessId src, const ControlMessage& m) {
   } else if (const auto* req = std::get_if<DepRequest>(&m)) {
     handle_dep_request(src, *req);
   } else if (const auto* reply = std::get_if<DepReply>(&m)) {
-    if (round_ && round_->phase == Phase::kGatherDep && reply->round == round_->id &&
-        round_->expect_dep.erase(src) > 0) {
+    // Round ids are per-leader counters, so a relayed round can collide
+    // with our own leader round's id: an awaited child is the tiebreak.
+    if (relay_ && reply->round == relay_->round && relay_->await.contains(src)) {
+      absorb_relay_reply(src, *reply);
+    } else if (round_ && round_->phase == Phase::kGatherDep && reply->round == round_->id) {
+      // Determinants merge as a set; contributions are deduplicated per pid
+      // (a re-parented participant may answer both directly and through its
+      // old relay — expect_dep.erase returning 0 drops the duplicate).
       for (const auto& h : reply->dets) round_->gathered.record(h);
-      round_->live_marks[src] = reply->marks_for_r;
+      for (const auto& c : reply->contribs) absorb_contribution(c);
       if (round_->expect_dep.empty()) finish_round();
+    } else if (relay_ && reply->round == relay_->round) {
+      absorb_relay_reply(src, *reply);
     }
   } else if (const auto* install = std::get_if<DepInstall>(&m)) {
     if (recovering_) {
@@ -261,6 +324,8 @@ void RecoveryManager::begin_gather_dep() {
   round_->expect_dep.clear();
   round_->gathered.clear();
   round_->live_marks.clear();
+  round_->participants.clear();
+  round_->direct.clear();
 
   std::set<ProcessId> recovering_pids;
   std::vector<ProcessId> rset_pids;
@@ -269,19 +334,38 @@ void RecoveryManager::begin_gather_dep() {
     rset_pids.push_back(m.pid);
   }
 
+  for (const ProcessId pid : hooks_.all_processes()) {
+    if (pid == self_ || recovering_pids.contains(pid)) continue;
+    round_->participants.push_back(pid);
+  }
+  std::sort(round_->participants.begin(), round_->participants.end());
+  for (const ProcessId pid : round_->participants) round_->expect_dep.insert(pid);
+
   DepRequest req;
   req.round = round_->id;
   req.block = config_.algorithm == Algorithm::kBlocking;
   req.defer = config_.algorithm == Algorithm::kDeferUnsafe;
+  req.leader = self_;
+  req.leader_inc = hooks_.my_incarnation();
+  req.arity = config_.gather_arity;
   // The blocking baseline relies on stillness for safety; both running
   // comparators need the incvector floor to reject stale messages.
-  if (!req.block) req.incvector = build_incvector();
+  if (!req.block) req.delta = build_delta(round_->participants);
   req.recovering = rset_pids;
+  round_->req = req;
 
-  for (const ProcessId pid : hooks_.all_processes()) {
-    if (pid == self_ || recovering_pids.contains(pid)) continue;
-    round_->expect_dep.insert(pid);
-    send(pid, req);
+  if (req.arity == 0) {
+    // Flat broadcast+collect: every participant answers the leader.
+    for (const ProcessId pid : round_->participants) send(pid, req);
+  } else {
+    // Tree gather: contact only the root's children; interior nodes
+    // forward and merge. expect_dep still lists everyone — contributions
+    // arrive aggregated.
+    for (const ProcessId pid :
+         tree_children(round_->participants, 0, req.arity)) {
+      round_->direct.insert(pid);
+      send(pid, req);
+    }
   }
 
   // The leader's own restored knowledge (checkpointed determinant log,
@@ -290,6 +374,68 @@ void RecoveryManager::begin_gather_dep() {
   round_->live_marks[self_] = hooks_.marks_for(rset_pids);
 
   if (round_->expect_dep.empty()) finish_round();
+}
+
+fbl::IncDelta RecoveryManager::build_delta(const std::vector<ProcessId>& participants) {
+  // Fold the round's floors into our own vector first; the wire delta is
+  // then a pure slice of incvector_ by version.
+  merge_floors(build_incvector());
+  fbl::IncDelta d;
+  d.version = incv_version_;
+  const Incarnation my_inc = hooks_.my_incarnation();
+  std::uint64_t base = UINT64_MAX;
+  bool full = participants.empty();
+  for (const ProcessId pid : participants) {
+    const auto it = confirmed_.find(pid);
+    if (it == confirmed_.end() || it->second.first != my_inc) {
+      full = true;
+      break;
+    }
+    base = std::min(base, it->second.second);
+  }
+  d.full = full;
+  if (full) {
+    d.base_version = 0;
+    d.entries = incvector_;
+    metrics_.counter("recovery.incv_full_sent").add();
+  } else {
+    d.base_version = base;
+    for (const auto& [pid, at] : incv_changed_at_) {
+      if (at > base) d.entries[pid] = incvector_.at(pid);
+    }
+    metrics_.counter("recovery.incv_delta_sent").add();
+  }
+  return d;
+}
+
+void RecoveryManager::absorb_contribution(const DepContribution& c) {
+  RR_CHECK(round_);
+  if (round_->expect_dep.erase(c.pid) == 0) return;  // duplicate or unknown
+  round_->live_marks[c.pid] = c.marks;
+  if (c.incv_resync) {
+    // The participant missed our delta baseline (first contact after a
+    // crash on either side); it applied the entries anyway — merge-max is
+    // safe — but only a full snapshot restores version agreement.
+    confirmed_.erase(c.pid);
+    metrics_.counter("recovery.incv_resyncs").add();
+  } else {
+    confirmed_[c.pid] = {hooks_.my_incarnation(), c.incv_version};
+  }
+}
+
+void RecoveryManager::reparent_leader(ProcessId child) {
+  RR_CHECK(round_ && round_->phase == Phase::kGatherDep);
+  metrics_.counter("recovery.subtree_reparents").add();
+  RR_INFO("recov", "%s (leader) re-parents subtree of suspected %s (round %llu)",
+          to_string(self_).c_str(), to_string(child).c_str(),
+          static_cast<unsigned long long>(round_->id));
+  phase_at(PhaseId::kSubtreeReparented, child, round_->id);
+  DepRequest direct = round_->req;
+  direct.arity = 0;
+  for (const ProcessId m : tree_subtree(round_->participants, child, round_->req.arity)) {
+    if (m == child || !round_->expect_dep.contains(m)) continue;
+    send(m, direct);
+  }
 }
 
 void RecoveryManager::finish_round() {
@@ -316,7 +462,27 @@ void RecoveryManager::finish_round() {
 }
 
 void RecoveryManager::progress_tick() {
-  if (!recovering_) return;
+  if (relay_) {
+    // Relay watchdog (live side): a child that went quiet without tripping
+    // the failure detector must not wedge the subtree. After half the
+    // phase timeout, re-parent whatever is still awaited (once); after the
+    // full timeout, forward the partial aggregate and let the leader's
+    // restart triggers own the round's fate.
+    if (sim_.now() - relay_->started > config_.phase_timeout) {
+      metrics_.counter("recovery.relay_flush_partial").add();
+      flush_relay();
+    } else if (!relay_->swept && sim_.now() - relay_->started > config_.phase_timeout / 2) {
+      relay_->swept = true;
+      const std::set<ProcessId> stuck = relay_->await;
+      for (const ProcessId pid : stuck) {
+        if (relay_ && relay_->await.contains(pid)) reparent_relay(pid);
+      }
+    }
+  }
+  if (!recovering_) {
+    if (!relay_ && progress_timer_.running()) progress_timer_.stop();
+    return;
+  }
   if (round_) {
     if (sim_.now() - round_->phase_started > config_.phase_timeout) {
       restart_round("phase timeout");
@@ -332,8 +498,28 @@ void RecoveryManager::progress_tick() {
   send(ord_service_, RSetRequest{});
 }
 
-void RecoveryManager::handle_dep_request(ProcessId leader, const DepRequest& req) {
-  merge_floors(req.incvector);
+void RecoveryManager::handle_dep_request(ProcessId from, const DepRequest& req) {
+  // Apply the incvector delta. merge-max is always safe to apply; the
+  // version bookkeeping only decides whether we can *confirm* holding the
+  // leader's vector (and thus keep its deltas small) or must ask for a
+  // full snapshot.
+  bool resync = false;
+  std::uint64_t version_held = 0;
+  merge_floors(req.delta.entries);
+  if (req.delta.full) {
+    leader_incv_seen_[req.leader] = {req.leader_inc, req.delta.version};
+    version_held = req.delta.version;
+  } else {
+    const auto it = leader_incv_seen_.find(req.leader);
+    if (it == leader_incv_seen_.end() || it->second.first != req.leader_inc ||
+        it->second.second < req.delta.base_version) {
+      resync = true;  // baseline gap: entries between it and us are unknown
+    } else {
+      it->second.second = std::max(it->second.second, req.delta.version);
+      version_held = it->second.second;
+    }
+  }
+
   if (req.block && !recovering_) {
     for (const ProcessId pid : req.recovering) blocked_on_.insert(pid);
     hooks_.set_delivery_blocked(true);
@@ -342,17 +528,111 @@ void RecoveryManager::handle_dep_request(ProcessId leader, const DepRequest& req
     for (const ProcessId pid : req.recovering) defer_on_.insert(pid);
     hooks_.set_defer_unsafe(defer_on_);
   }
+
+  DepContribution me;
+  me.pid = self_;
+  me.inc = hooks_.my_incarnation();
+  me.incv_version = version_held;
+  me.incv_resync = resync;
+  me.marks = hooks_.marks_for(req.recovering);
+
+  if (req.arity > 0) {
+    // Tree gather: work out our children and relay the request. The
+    // participant list is derived exactly as the leader derived it (the
+    // leader itself is in R, so "all − R" excludes it on both sides).
+    std::set<ProcessId> recovering_pids(req.recovering.begin(), req.recovering.end());
+    std::vector<ProcessId> participants;
+    for (const ProcessId pid : hooks_.all_processes()) {
+      if (!recovering_pids.contains(pid)) participants.push_back(pid);
+    }
+    std::sort(participants.begin(), participants.end());
+    const std::size_t my_index = tree_index_of(participants, self_);
+    std::vector<ProcessId> kids =
+        my_index == 0 ? std::vector<ProcessId>{}
+                      : tree_children(participants, my_index, req.arity);
+    if (!kids.empty()) {
+      Relay rel;
+      rel.round = req.round;
+      rel.reply_to = from;
+      rel.defer = req.defer;
+      rel.started = sim_.now();
+      rel.participants = std::move(participants);
+      rel.req = req;
+      for (const ProcessId pid : kids) rel.await.insert(pid);
+      rel.got.insert(self_);
+      rel.contribs.push_back(me);
+      for (const auto& h : hooks_.depinfo_slice(req.recovering)) rel.dets.record(h);
+      relay_ = std::move(rel);
+      metrics_.counter("recovery.relays").add();
+      for (const ProcessId pid : kids) send(pid, req);
+      // Watch the subtree: the progress timer doubles as the relay's
+      // suspicion/timeout sweep on live processes.
+      if (!progress_timer_.running()) progress_timer_.start();
+      return;
+    }
+  }
+
+  // Leaf (or flat gather): answer `from` — the leader, or the interior
+  // node that forwarded the request — directly.
   DepReply reply;
   reply.round = req.round;
   reply.dets = hooks_.depinfo_slice(req.recovering);
-  reply.marks_for_r = hooks_.marks_for(req.recovering);
+  reply.contribs = {me};
   if (req.defer) {
     // Manetho-style: the reply must survive our own crash before the
     // recovering process can depend on it — synchronous stable write.
-    hooks_.sync_log_then_send(leader, reply);
+    hooks_.sync_log_then_send(from, reply);
   } else {
-    send(leader, reply);
+    send(from, reply);
   }
+}
+
+void RecoveryManager::absorb_relay_reply(ProcessId child, const DepReply& reply) {
+  RR_CHECK(relay_);
+  relay_->await.erase(child);
+  for (const auto& h : reply.dets) relay_->dets.record(h);
+  for (const auto& c : reply.contribs) {
+    if (relay_->got.insert(c.pid).second) relay_->contribs.push_back(c);
+  }
+  if (relay_->await.empty()) flush_relay();
+}
+
+void RecoveryManager::reparent_relay(ProcessId child) {
+  RR_CHECK(relay_);
+  relay_->await.erase(child);
+  metrics_.counter("recovery.subtree_reparents").add();
+  RR_INFO("recov", "%s re-parents subtree of suspected %s (round %llu)",
+          to_string(self_).c_str(), to_string(child).c_str(),
+          static_cast<unsigned long long>(relay_->round));
+  phase_at(PhaseId::kSubtreeReparented, child, relay_->round);
+  // Reach the orphaned subtree directly: its members answer us as leaves
+  // (arity 0 stops them from re-relaying). The suspected child itself is
+  // left to the leader's restart triggers.
+  DepRequest direct = relay_->req;
+  direct.arity = 0;
+  for (const ProcessId m : tree_subtree(relay_->participants, child, relay_->req.arity)) {
+    if (m == child || relay_->got.contains(m)) continue;
+    relay_->await.insert(m);
+    send(m, direct);
+  }
+  if (relay_->await.empty()) flush_relay();
+}
+
+void RecoveryManager::flush_relay() {
+  RR_CHECK(relay_);
+  DepReply reply;
+  reply.round = relay_->round;
+  reply.dets = relay_->dets.slice_for(~fbl::HolderMask{0});
+  reply.contribs = std::move(relay_->contribs);
+  const ProcessId to = relay_->reply_to;
+  const bool defer = relay_->defer;
+  relay_.reset();
+  if (defer) {
+    hooks_.sync_log_then_send(to, reply);
+  } else {
+    send(to, reply);
+  }
+  if (!recovering_ && progress_timer_.running()) progress_timer_.stop();
 }
 
 void RecoveryManager::handle_recovery_complete(ProcessId peer, const RecoveryComplete& m) {
@@ -370,10 +650,23 @@ void RecoveryManager::handle_recovery_complete(ProcessId peer, const RecoveryCom
 
 void RecoveryManager::on_suspicion(ProcessId peer, bool suspected) {
   if (!suspected) return;
+  if (relay_ && relay_->await.contains(peer)) {
+    reparent_relay(peer);
+    return;
+  }
   if (round_) {
+    if (round_->phase == Phase::kGatherDep && round_->direct.erase(peer) > 0) {
+      // Tree gather: a direct child fell — adopt its subtree instead of
+      // tearing the round down. If the suspicion was real, the child will
+      // re-register as recovering and the mid-gather RSet check restarts
+      // the round; if it was false, its (now duplicate) reply just drops.
+      reparent_leader(peer);
+      return;
+    }
     const bool awaiting =
         (round_->phase == Phase::kGatherInc && round_->expect_inc.contains(peer)) ||
-        (round_->phase == Phase::kGatherDep && round_->expect_dep.contains(peer));
+        (round_->phase == Phase::kGatherDep && round_->req.arity == 0 &&
+         round_->expect_dep.contains(peer));
     if (awaiting) restart_round("target suspected");
     return;
   }
@@ -389,13 +682,17 @@ void RecoveryManager::send(ProcessId to, const ControlMessage& m) { hooks_.send_
 void RecoveryManager::broadcast(const ControlMessage& m) { hooks_.broadcast_ctrl(m); }
 
 void RecoveryManager::phase(PhaseId id) {
+  phase_at(id, self_, round_ ? round_->id : 0);
+}
+
+void RecoveryManager::phase_at(PhaseId id, ProcessId subject, std::uint64_t round_id) {
   if (!config_.phase_hook) return;
   PhaseEventInfo info;
   info.pid = self_;
   info.phase = id;
-  info.round = round_ ? round_->id : 0;
+  info.round = round_id;
   info.ord = ord_;
-  info.subject = self_;
+  info.subject = subject;
   config_.phase_hook(info);
 }
 
@@ -405,6 +702,7 @@ void RecoveryManager::raise_floor(ProcessId about, Incarnation inc) {
     return;
   }
   fbl::raise_incarnation(incvector_, about, inc);
+  incv_changed_at_[about] = ++incv_version_;
   if (hooks_.floor_raised) hooks_.floor_raised(about, inc);
 }
 

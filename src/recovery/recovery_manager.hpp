@@ -60,6 +60,17 @@ struct RecoveryConfig {
   /// A gather phase stuck longer than this restarts the round (covers
   /// targets that crashed without being detected yet).
   Duration phase_timeout = seconds(5);
+  /// Depinfo gather fan-out. 0 = flat: the leader contacts every live
+  /// process and collects n-1 direct replies, which is the paper's shape
+  /// and fine at n≈16 but makes the leader an O(n) hot spot at n≈1024.
+  /// k >= 2 builds a k-ary gather/scatter tree over the sorted live
+  /// participants (leader at the root): requests fan out edge-by-edge and
+  /// each interior node merges its subtree's replies into one, so the
+  /// leader handles O(k) messages per round instead of O(n). Suspicion of
+  /// an interior node re-parents its subtree (kSubtreeReparented) so the
+  /// partial gather keeps flowing while the usual restart triggers decide
+  /// the round's fate.
+  std::uint32_t gather_arity{0};
   /// Optional tap fired at named protocol phase boundaries (see
   /// phase_hook.hpp). Must not re-enter the manager synchronously.
   PhaseHook phase_hook;
@@ -154,6 +165,28 @@ class RecoveryManager {
     std::set<ProcessId> expect_dep;
     fbl::DeterminantLog gathered;
     std::map<ProcessId, fbl::Watermarks> live_marks;
+    // Tree gather (arity > 0): sorted live participants (the BFS array is
+    // [leader] + participants), the leader's direct children, and the
+    // request to re-send with arity 0 when a child subtree is re-parented.
+    std::vector<ProcessId> participants;
+    std::set<ProcessId> direct;
+    DepRequest req;
+  };
+
+  /// Interior-node state of a tree gather: this (live) process forwarded a
+  /// DepRequest to its children and owes `reply_to` one merged reply.
+  struct Relay {
+    std::uint64_t round{0};
+    ProcessId reply_to;  ///< parent that forwarded the request to us
+    bool defer{false};
+    bool swept{false};  ///< half-timeout re-parent sweep already ran
+    Time started{0};
+    std::vector<ProcessId> participants;
+    std::set<ProcessId> await;  ///< children (plus re-parented descendants)
+    std::set<ProcessId> got;    ///< contributor pids already merged (dedup)
+    fbl::DeterminantLog dets;
+    std::vector<DepContribution> contribs;
+    DepRequest req;  ///< for direct re-sends on re-parent
   };
 
   // Leader machinery.
@@ -164,20 +197,30 @@ class RecoveryManager {
   void begin_gather_dep();
   void finish_round();
   [[nodiscard]] fbl::IncVector build_incvector() const;
+  /// Fold this round's floors into incvector_ and slice the delta against
+  /// the lowest version every participant has confirmed (full on any
+  /// unconfirmed participant or leader-incarnation mismatch).
+  [[nodiscard]] fbl::IncDelta build_delta(const std::vector<ProcessId>& participants);
+  void absorb_contribution(const DepContribution& c);
+  void reparent_leader(ProcessId child);
 
   // Member machinery.
   void evaluate_leadership(const std::vector<RMember>& rset);
   void progress_tick();
 
   // Live-side handlers.
-  void handle_dep_request(ProcessId leader, const DepRequest& req);
+  void handle_dep_request(ProcessId from, const DepRequest& req);
   void handle_recovery_complete(ProcessId peer, const RecoveryComplete& m);
+  void absorb_relay_reply(ProcessId child, const DepReply& reply);
+  void reparent_relay(ProcessId child);
+  void flush_relay();
 
   void send(ProcessId to, const ControlMessage& m);
   void broadcast(const ControlMessage& m);
 
   /// Fire the configured phase hook (no-op when unset).
   void phase(PhaseId id);
+  void phase_at(PhaseId id, ProcessId subject, std::uint64_t round_id);
   /// Raise incvector_[about] to `inc`, firing floor_raised on an increase.
   void raise_floor(ProcessId about, Incarnation inc);
   /// merge_max into incvector_ through raise_floor.
@@ -194,6 +237,23 @@ class RecoveryManager {
   fbl::IncVector incvector_;
   std::set<ProcessId> blocked_on_;  // blocking baseline: R pids awaited
   std::set<ProcessId> defer_on_;    // defer-unsafe comparator: R pids awaited
+  /// Incvector versioning for delta distribution: incv_version_ bumps on
+  /// every actual floor raise, incv_changed_at_[p] remembers the version at
+  /// which p's floor last moved (the delta since V is exactly the entries
+  /// with changed_at > V).
+  std::uint64_t incv_version_{0};
+  std::map<ProcessId, std::uint64_t> incv_changed_at_;
+  /// Receiver side: per leader, the (leader incarnation, version) of that
+  /// leader's incvector we last held completely. A delta whose baseline is
+  /// beyond this is still applied (merge-max is safe) but flagged for
+  /// resync.
+  std::map<ProcessId, std::pair<Incarnation, std::uint64_t>> leader_incv_seen_;
+  /// Leader side: per participant, the (our incarnation, version) it last
+  /// confirmed — the delta baseline pool. Erased on a reported resync.
+  std::map<ProcessId, std::pair<Incarnation, std::uint64_t>> confirmed_;
+  /// Interior-node tree-gather relay (live side; at most one at a time —
+  /// a newer round from any leader supersedes it).
+  std::optional<Relay> relay_;
 
   // Recovering-side state.
   bool recovering_{false};

@@ -15,7 +15,7 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
       ord_(kOrdServiceId, network_, metrics_) {
   RR_CHECK_MSG(config_.num_processes >= 2, "need at least two processes");
   RR_CHECK_MSG(config_.num_processes <= fbl::kMaxProcesses,
-               "holder masks support at most 63 processes");
+               "holder masks support at most 1024 processes");
   RR_CHECK_MSG(config_.f >= 1 && config_.f <= config_.num_processes, "1 <= f <= n required");
 
   network_.attach(kOrdServiceId, ord_);
@@ -58,6 +58,7 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
     nc.num_processes = config_.num_processes;
     nc.f = config_.f;
     nc.ord_service = kOrdServiceId;
+    nc.prune_piggyback = config_.prune_piggyback;
     nc.recovery = config_.recovery;
     nc.detector = config_.detector;
     nc.storage = config_.storage;

@@ -32,6 +32,9 @@ struct ClusterConfig {
   std::uint32_t f{2};
   recovery::Algorithm algorithm{recovery::Algorithm::kNonBlocking};
   std::uint64_t seed{1};
+  /// Piggyback pruning (default on); off = the un-pruned baseline where
+  /// every frame carries the sender's whole active determinant set.
+  bool prune_piggyback{true};
 
   net::NetworkConfig net;
   /// Reliable transport between app processes; enable when net.faults (or a
@@ -112,8 +115,10 @@ class Cluster {
   /// enable_trace).
   [[nodiscard]] trace::CheckResult check_history() const;
 
-  /// ProcessId of the never-failing ord/registry service.
-  static constexpr ProcessId kOrdServiceId{999};
+  /// ProcessId of the never-failing ord/registry service — one past the
+  /// holder-mask capacity so it can never collide with an app process
+  /// (pids 0..fbl::kMaxProcesses-1; the service holds no determinants).
+  static constexpr ProcessId kOrdServiceId{1025};
 
   /// Observe protocol phase boundaries (see recovery/phase_hook.hpp) from
   /// every node and the ord service. The probe runs in addition to trace

@@ -40,7 +40,8 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
       transport_(sim, network, config.id, config.transport, metrics),
       app_(std::move(application)),
       ctx_(std::make_unique<Ctx>(*this)),
-      engine_(fbl::EngineConfig{config.id, config.num_processes, config.f}),
+      engine_(fbl::EngineConfig{config.id, config.num_processes, config.f,
+                                  config.prune_piggyback, config.transport.enabled}),
       storage_(sim, config.storage, metrics, "storage"),
       ckpts_(storage_, config.id),
       detector_(
@@ -186,6 +187,9 @@ Node::Node(sim::Simulator& sim, net::Network& network, NodeConfig config,
     metrics_.counter("transport.peers_reported").add();
     detector_.report_unreachable(peer);
   });
+  transport_.set_ack_signal([this](ProcessId dst, std::uint64_t msg) {
+    confirm_piggyback_marks(dst, msg);
+  });
   network_.attach(config_.id, *this);
   network_.set_up(config_.id, false);  // dark until start()
 }
@@ -272,12 +276,14 @@ void Node::crash() {
   defer_rset_.clear();
   deferred_queue_.clear();
   suppress_marks_.clear();
+  pending_marks_.clear();
   recovery_.reset_for_restart();
   replay_.reset();
   outputs_.reset();
   snapshot_.reset();
-  engine_ = fbl::LoggingEngine(
-      fbl::EngineConfig{config_.id, config_.num_processes, config_.f});
+  engine_ = fbl::LoggingEngine(fbl::EngineConfig{config_.id, config_.num_processes, config_.f,
+                                                 config_.prune_piggyback,
+                                                 config_.transport.enabled});
 
   if (current_recovery_) metrics_.counter("recovery.abandoned").add();
   current_recovery_ = RecoveryTimeline{};
@@ -351,8 +357,9 @@ void Node::load_stable_dets(std::vector<std::string> keys, fbl::Checkpoint cp) {
 }
 
 void Node::finish_restore(const fbl::Checkpoint& cp) {
-  engine_ =
-      fbl::LoggingEngine(fbl::EngineConfig{config_.id, config_.num_processes, config_.f});
+  engine_ = fbl::LoggingEngine(fbl::EngineConfig{config_.id, config_.num_processes, config_.f,
+                                                 config_.prune_piggyback,
+                                                 config_.transport.enabled});
   engine_.load(cp);
   app_->restore(cp.app_state);
   needs_onstart_replay_ = !cp.app_started;
@@ -657,7 +664,33 @@ void Node::app_send(ProcessId to, Bytes payload) {
     return;
   }
   if (recovering_) metrics_.counter("replay.sends_transmitted").add();
+  transmit_app_frame(to, std::move(res));
+}
+
+void Node::transmit_app_frame(ProcessId to, fbl::LoggingEngine::SendResult&& res) {
+  std::vector<fbl::Determinant> attached = std::move(res.attached);
   transport_.send(to, std::move(res.frame));
+  if (attached.empty()) return;
+  const std::uint64_t msg = transport_.last_sent_msg(to);
+  if (msg == 0) {
+    // The frame bypassed the channel machinery (raw peer): handover is
+    // delivery again, as on the perfect fabric.
+    engine_.confirm_piggyback(to, attached);
+    return;
+  }
+  pending_marks_[to].push_back(PendingMarks{msg, std::move(attached)});
+}
+
+void Node::confirm_piggyback_marks(ProcessId dst, std::uint64_t msg) {
+  const auto it = pending_marks_.find(dst);
+  if (it == pending_marks_.end()) return;
+  auto& queue = it->second;
+  while (!queue.empty() && queue.front().msg <= msg) {
+    engine_.confirm_piggyback(dst, queue.front().dets);
+    metrics_.counter("fbl.piggyback_confirms").add(queue.front().dets.size());
+    queue.pop_front();
+  }
+  if (queue.empty()) pending_marks_.erase(it);
 }
 
 void Node::start_snapshot(std::uint64_t id) {
@@ -750,7 +783,7 @@ void Node::on_peer_recovered(ProcessId peer, const recovery::RecoveryComplete& m
     auto rt = engine_.retransmit_frame(peer, entry.ssn, inc_);
     if (!rt) continue;
     metrics_.counter("recovery.retransmits").add();
-    transport_.send(peer, std::move(rt->frame));
+    transmit_app_frame(peer, std::move(*rt));
   }
 }
 

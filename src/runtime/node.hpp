@@ -52,6 +52,9 @@ struct NodeConfig {
   std::uint32_t num_processes{0};
   std::uint32_t f{1};
   ProcessId ord_service;
+  /// Piggyback pruning (see fbl::EngineConfig): off = the un-pruned O(n)
+  /// baseline for the scale bench and the equivalence property test.
+  bool prune_piggyback{true};
   recovery::RecoveryConfig recovery;
   detect::DetectorConfig detector;
   storage::StorageConfig storage;
@@ -176,6 +179,10 @@ class Node : public net::Endpoint {
   void drain_blocked();
   void drain_pending_fresh();
 
+  // Send path.
+  void transmit_app_frame(ProcessId to, fbl::LoggingEngine::SendResult&& res);
+  void confirm_piggyback_marks(ProcessId dst, std::uint64_t msg);
+
   // Control path.
   void send_control(ProcessId to, const recovery::ControlMessage& m);
   void broadcast_control(const recovery::ControlMessage& m);
@@ -242,6 +249,16 @@ class Node : public net::Endpoint {
   };
   std::deque<DeferredFrame> deferred_queue_;
   std::uint64_t sync_log_seq_{0};
+
+  // Deferred holder marking (lossy fabric): determinants piggybacked on an
+  // app frame are counted at the destination only once the transport's
+  // cumulative ack covers the frame's message index. Per destination, in
+  // send order; cleared with the transport's state on crash/restore.
+  struct PendingMarks {
+    std::uint64_t msg{0};
+    std::vector<fbl::Determinant> dets;
+  };
+  std::map<ProcessId, std::deque<PendingMarks>> pending_marks_;
 
   // Replay-time send suppression: per live peer, the ssn it already
   // delivered from us (from DepInstall live_marks).

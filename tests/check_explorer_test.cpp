@@ -49,6 +49,8 @@ TEST(FaultScheduleTest, InjectionGrammarRoundTrips) {
       "dup:0-3@2x6",
       "partition:2@1000000000+1500000000",
       "flap:1@1500000000+400000000x3",
+      "treecrash:0@1",
+      "treecrash:2@1+10000000",
   };
   for (const char* line : lines) {
     Injection inj;
@@ -66,6 +68,7 @@ TEST(FaultScheduleTest, RejectsMalformedInjections) {
       "lossburst:1-2@4",        "dup:0-3@2",         // missing window count
       "partition:2@1000",       "partition:2@1000+0",  // missing/zero width
       "flap:1@1500+400",        "flap:1@1500+400x0",   // missing/zero cycles
+      "treecrash:@1",           "treecrash:0",         // missing index/occurrence
   };
   for (const char* line : lines) {
     Injection inj;
@@ -102,11 +105,15 @@ TEST(FaultScheduleTest, ScheduleLineRoundTrips) {
   s.idle_deadline = seconds(55);
   s.restart = milliseconds(2500);
   s.seeded_bug = true;
+  s.arity = 4;
+  s.tokens = 8;
   s.injections = {crash(1, seconds(2)), pcrash_leader(PhaseId::kGatherStarted, 1)};
 
   FaultSchedule parsed;
   ASSERT_TRUE(FaultSchedule::parse(s.format(), parsed)) << s.format();
   EXPECT_EQ(parsed, s);
+  EXPECT_EQ(parsed.arity, 4u);
+  EXPECT_EQ(parsed.tokens, 8u);
 
   // The printed repro line (with the --replay prefix) parses back too.
   ASSERT_TRUE(FaultSchedule::parse(s.replay_line(), parsed));
@@ -267,6 +274,23 @@ TEST(ScheduleExplorerTest, UnreliableFilterSelectsOnlyLossySchedules) {
   const auto schedules = ScheduleExplorer::matrix(opt);
   ASSERT_GT(schedules.size(), 0u);
   for (const auto& s : schedules) EXPECT_TRUE(s.needs_reliable()) << s.format();
+}
+
+TEST(ScheduleExplorerTest, ScaleFilterSelectsOnlyGatherTreeSchedules) {
+  check::ExploreOptions opt;
+  opt.scale_only = true;
+  opt.seeds_per_cell = 1;
+  const auto schedules = ScheduleExplorer::matrix(opt);
+  ASSERT_GT(schedules.size(), 0u);
+  std::size_t with_treecrash = 0;
+  for (const auto& s : schedules) {
+    EXPECT_GT(s.arity, 0u) << s.format();
+    for (const auto& inj : s.injections) {
+      if (inj.kind == Injection::Kind::kTreeCrash) ++with_treecrash;
+    }
+  }
+  // The slice must actually hit relay nodes, not just set an arity.
+  EXPECT_GT(with_treecrash, 0u);
 }
 
 // --- unreliable fabric end-to-end ------------------------------------------

@@ -58,6 +58,68 @@ TEST(IncVectorTest, SerdeRoundTrip) {
   r.expect_done();
 }
 
+TEST(IncDeltaTest, FullSnapshotRoundTrip) {
+  IncDelta d;
+  d.base_version = 0;
+  d.version = 4;
+  d.full = true;
+  raise_incarnation(d.entries, ProcessId{0}, 2);
+  raise_incarnation(d.entries, ProcessId{3}, 7);
+  BufWriter w;
+  encode(w, d);
+  BufReader r(w.view());
+  EXPECT_EQ(decode_inc_delta(r), d);
+  r.expect_done();
+}
+
+TEST(IncDeltaTest, SparseDeltaRoundTrip) {
+  IncDelta d;
+  d.base_version = 9;
+  d.version = 12;
+  d.full = false;
+  raise_incarnation(d.entries, ProcessId{1023}, 5);
+  BufWriter w;
+  encode(w, d);
+  BufReader r(w.view());
+  const IncDelta back = decode_inc_delta(r);
+  EXPECT_EQ(back, d);
+  EXPECT_FALSE(back.full);
+  EXPECT_EQ(incarnation_of(back.entries, ProcessId{1023}), 5u);
+  r.expect_done();
+}
+
+TEST(IncDeltaTest, EmptyDeltaRoundTrip) {
+  // The blocking baseline sends an empty full delta; it must survive the
+  // wire as exactly that.
+  IncDelta d;
+  BufWriter w;
+  encode(w, d);
+  BufReader r(w.view());
+  const IncDelta back = decode_inc_delta(r);
+  EXPECT_TRUE(back.full);
+  EXPECT_TRUE(back.entries.empty());
+  r.expect_done();
+}
+
+TEST(IncDeltaTest, ApplyingEntriesIsMergeMaxSafeRegardlessOfBaseline) {
+  // The delta-apply rule is plain merge_max, so applying a delta whose
+  // baseline the receiver never held can raise floors but never lower one —
+  // the receiver flags the gap (resync) rather than rejecting the floors.
+  IncVector held;
+  raise_incarnation(held, ProcessId{1}, 6);
+  raise_incarnation(held, ProcessId{2}, 3);
+  IncDelta d;
+  d.base_version = 40;  // receiver holds nothing near this
+  d.version = 41;
+  d.full = false;
+  raise_incarnation(d.entries, ProcessId{1}, 4);  // older than held: no-op
+  raise_incarnation(d.entries, ProcessId{5}, 8);  // fresh floor: adopted
+  merge_max(held, d.entries);
+  EXPECT_EQ(incarnation_of(held, ProcessId{1}), 6u);
+  EXPECT_EQ(incarnation_of(held, ProcessId{2}), 3u);
+  EXPECT_EQ(incarnation_of(held, ProcessId{5}), 8u);
+}
+
 TEST(WatermarksTest, DefaultIsZero) {
   Watermarks m;
   EXPECT_EQ(watermark_of(m, ProcessId{5}), 0u);

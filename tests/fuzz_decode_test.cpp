@@ -66,13 +66,25 @@ std::vector<Bytes> control_seeds() {
   DepRequest dep_request;
   dep_request.round = 5;
   dep_request.block = true;
-  dep_request.incvector[ProcessId{1}] = 2;
+  dep_request.leader = ProcessId{1};
+  dep_request.leader_inc = 2;
+  dep_request.arity = 4;
+  dep_request.delta.base_version = 3;
+  dep_request.delta.version = 9;
+  dep_request.delta.full = false;
+  dep_request.delta.entries[ProcessId{1}] = 2;
   dep_request.recovering = {ProcessId{1}, ProcessId{2}};
   out.push_back(encode_control(dep_request));
   DepReply dep_reply;
   dep_reply.round = 5;
   dep_reply.dets = dets;
-  dep_reply.marks_for_r[ProcessId{1}] = 11;
+  DepContribution contrib;
+  contrib.pid = ProcessId{1};
+  contrib.inc = 3;
+  contrib.incv_version = 9;
+  contrib.incv_resync = true;
+  contrib.marks[ProcessId{1}] = 11;
+  dep_reply.contribs = {contrib};
   out.push_back(encode_control(dep_reply));
   DepInstall install;
   install.round = 5;
@@ -195,13 +207,27 @@ TEST(DecoderHardening, LengthLyingCountsAreRejectedNotAllocated) {
     w.u8(4);
     w.varint(kHugeCount);
   }));
-  // DepRequest (tag 7): valid header + empty incvector, huge recovering list.
+  // DepRequest (tag 7): valid header + empty incvector delta, huge
+  // recovering list.
   liars.push_back(control([&](BufWriter& w) {
     w.u8(7);
-    w.u64(1);
-    w.boolean(false);
-    w.boolean(false);
-    w.varint(0);  // empty incvector
+    w.u64(1);         // round
+    w.boolean(false); // block
+    w.boolean(false); // defer
+    w.u32(0);         // leader
+    w.u32(1);         // leader_inc
+    w.varint(0);      // arity
+    w.varint(0);      // delta.base_version
+    w.varint(0);      // delta.version
+    w.boolean(true);  // delta.full
+    w.varint(0);      // empty delta entries
+    w.varint(kHugeCount);
+  }));
+  // DepReply (tag 8): no determinants, huge contribution count.
+  liars.push_back(control([&](BufWriter& w) {
+    w.u8(8);
+    w.u64(1);    // round
+    w.varint(0); // no determinants
     w.varint(kHugeCount);
   }));
   // ReplayRequest (tag 11): huge ssn count.

@@ -13,6 +13,15 @@ namespace {
 constexpr ProcessId kSelf{0};
 constexpr ProcessId kOrd{99};
 
+/// A minimal self-contribution: the leader retires a gather target only
+/// when some reply carries its contribution (flat replies carry exactly
+/// the sender's own; tree relays aggregate many).
+DepContribution contrib(std::uint32_t pid) {
+  DepContribution c;
+  c.pid = ProcessId{pid};
+  return c;
+}
+
 struct Harness {
   sim::Simulator sim;
   metrics::Registry metrics;
@@ -114,13 +123,19 @@ TEST(RecoveryManager, SoleMemberLeadsAndInstallsFromLiveReplies) {
   ASSERT_EQ(reqs1.size(), 1u);
   EXPECT_FALSE(reqs1[0].block);
   EXPECT_EQ(reqs1[0].recovering, std::vector<ProcessId>{kSelf});
-  EXPECT_EQ(fbl::incarnation_of(reqs1[0].incvector, kSelf), 2u);
+  // First round from a fresh leader: nobody has confirmed a baseline, so
+  // the incvector travels as a full snapshot.
+  EXPECT_TRUE(reqs1[0].delta.full);
+  EXPECT_EQ(fbl::incarnation_of(reqs1[0].delta.entries, kSelf), 2u);
 
   DepReply reply;
   reply.round = reqs1[0].round;
+  reply.contribs = {contrib(1)};
   h.mgr->on_control(ProcessId{1}, reply);
+  reply.contribs = {contrib(2)};
   h.mgr->on_control(ProcessId{2}, reply);
   EXPECT_TRUE(h.installs.empty());
+  reply.contribs = {contrib(3)};
   h.mgr->on_control(ProcessId{3}, reply);
   ASSERT_EQ(h.installs.size(), 1u);  // self-install after the last reply
   EXPECT_TRUE(h.mgr->install_received());
@@ -167,7 +182,9 @@ TEST(RecoveryManager, MultiMemberRoundGathersIncarnationsFirst) {
 
   DepReply reply;
   reply.round = h.sent_to<DepRequest>(ProcessId{1})[0].round;
+  reply.contribs = {contrib(1)};
   h.mgr->on_control(ProcessId{1}, reply);
+  reply.contribs = {contrib(3)};
   h.mgr->on_control(ProcessId{3}, reply);
   // Install goes to the other member and to self.
   EXPECT_EQ(h.sent_to<DepInstall>(ProcessId{2}).size(), 1u);
@@ -187,7 +204,7 @@ TEST(RecoveryManager, BlockingAlgorithmSkipsIncPhaseAndSetsBlockFlag) {
   const auto reqs = h.sent_to<DepRequest>(ProcessId{1});
   ASSERT_EQ(reqs.size(), 1u);
   EXPECT_TRUE(reqs[0].block);
-  EXPECT_TRUE(reqs[0].incvector.empty());
+  EXPECT_TRUE(reqs[0].delta.entries.empty());
 }
 
 TEST(RecoveryManager, LiveProcessAnswersDepRequest) {
@@ -195,12 +212,15 @@ TEST(RecoveryManager, LiveProcessAnswersDepRequest) {
   DepRequest req;
   req.round = 9;
   req.recovering = {ProcessId{2}};
-  fbl::raise_incarnation(req.incvector, ProcessId{2}, 4);
+  req.leader = ProcessId{2};
+  fbl::raise_incarnation(req.delta.entries, ProcessId{2}, 4);
   h.mgr->on_control(ProcessId{2}, req);
   const auto replies = h.sent_to<DepReply>(ProcessId{2});
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_EQ(replies[0].round, 9u);
-  EXPECT_EQ(fbl::watermark_of(replies[0].marks_for_r, ProcessId{2}), 7u);
+  ASSERT_EQ(replies[0].contribs.size(), 1u);
+  EXPECT_EQ(replies[0].contribs[0].pid, kSelf);
+  EXPECT_EQ(fbl::watermark_of(replies[0].contribs[0].marks, ProcessId{2}), 7u);
   // incvector merged; no blocking for the non-blocking algorithm.
   EXPECT_EQ(fbl::incarnation_of(h.mgr->incvector(), ProcessId{2}), 4u);
   EXPECT_FALSE(h.blocked);
@@ -235,7 +255,7 @@ TEST(RecoveryManager, DeferUnsafeRequestsDeferAndSyncLogReplies) {
   // the incvector (live processes keep delivering and need the floor).
   EXPECT_FALSE(reqs[0].block);
   EXPECT_TRUE(reqs[0].defer);
-  EXPECT_EQ(fbl::incarnation_of(reqs[0].incvector, kSelf), 2u);
+  EXPECT_EQ(fbl::incarnation_of(reqs[0].delta.entries, kSelf), 2u);
 }
 
 TEST(RecoveryManager, DeferUnsafeLiveSideDefersAndSyncWrites) {
@@ -333,8 +353,11 @@ TEST(RecoveryManager, ReplayCompleteEndsRecovery) {
   h.become_sole_leader();
   DepReply reply;
   reply.round = h.sent_to<DepRequest>(ProcessId{1})[0].round;
+  reply.contribs = {contrib(1)};
   h.mgr->on_control(ProcessId{1}, reply);
+  reply.contribs = {contrib(2)};
   h.mgr->on_control(ProcessId{2}, reply);
+  reply.contribs = {contrib(3)};
   h.mgr->on_control(ProcessId{3}, reply);
   ASSERT_TRUE(h.mgr->install_received());
   h.mgr->on_replay_complete();

@@ -64,15 +64,24 @@ TEST(ControlMessages, DepRequestRoundTrip) {
   DepRequest m;
   m.round = 3;
   m.block = true;
-  m.incvector[ProcessId{1}] = 2;
-  m.incvector[ProcessId{4}] = 9;
+  m.leader = ProcessId{4};
+  m.leader_inc = 6;
+  m.arity = 4;
+  m.delta.base_version = 2;
+  m.delta.version = 5;
+  m.delta.full = false;
+  m.delta.entries[ProcessId{1}] = 2;
+  m.delta.entries[ProcessId{4}] = 9;
   m.recovering = {ProcessId{1}, ProcessId{4}};
   const auto out = round_trip(m);
   ASSERT_TRUE(std::holds_alternative<DepRequest>(out));
   const auto& got = std::get<DepRequest>(out);
   EXPECT_EQ(got.round, 3u);
   EXPECT_TRUE(got.block);
-  EXPECT_EQ(got.incvector, m.incvector);
+  EXPECT_EQ(got.leader, m.leader);
+  EXPECT_EQ(got.leader_inc, m.leader_inc);
+  EXPECT_EQ(got.arity, m.arity);
+  EXPECT_EQ(got.delta, m.delta);
   EXPECT_EQ(got.recovering, m.recovering);
 }
 
@@ -80,12 +89,18 @@ TEST(ControlMessages, DepReplyRoundTrip) {
   DepReply m;
   m.round = 3;
   m.dets = {held(0, 1, 1, 1, 0x3), held(2, 5, 1, 2, 0x7)};
-  m.marks_for_r[ProcessId{1}] = 17;
+  DepContribution c;
+  c.pid = ProcessId{2};
+  c.inc = 3;
+  c.incv_version = 7;
+  c.incv_resync = true;
+  c.marks[ProcessId{1}] = 17;
+  m.contribs = {c};
   const auto out = round_trip(m);
   ASSERT_TRUE(std::holds_alternative<DepReply>(out));
   const auto& got = std::get<DepReply>(out);
   EXPECT_EQ(got.dets, m.dets);
-  EXPECT_EQ(got.marks_for_r, m.marks_for_r);
+  EXPECT_EQ(got.contribs, m.contribs);
 }
 
 TEST(ControlMessages, DepInstallRoundTrip) {

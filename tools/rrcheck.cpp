@@ -45,6 +45,8 @@ namespace {
       "  --list               print the matrix schedules without running\n"
       "  --unreliable         restrict the matrix to lossy/partition schedules\n"
       "                       (the ones that exercise the reliable transport)\n"
+      "  --scale              restrict the matrix to gather-tree schedules\n"
+      "                       (arity set; treecrash relay-failure coordinates)\n"
       "  --seeds N            seeds per grid cell (default 64)\n"
       "  --jobs N             worker threads for --sweep/--smoke/--seed-bug\n"
       "                       (default: hardware concurrency; 1 = serial).\n"
@@ -68,6 +70,7 @@ struct Options {
   unsigned jobs = 0;  // 0 = hardware concurrency
   std::uint64_t max_runs = 0;
   bool unreliable_only = false;
+  bool scale_only = false;
   bool keep_going = false;
   bool verbose = false;
   bool debug = false;
@@ -112,6 +115,8 @@ Options parse_args(int argc, char** argv) {
       opt.max_runs = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--unreliable") {
       opt.unreliable_only = true;
+    } else if (arg == "--scale") {
+      opt.scale_only = true;
     } else if (arg == "--keep-going") {
       opt.keep_going = true;
     } else if (arg == "--verbose") {
@@ -189,6 +194,7 @@ int run_explore(const Options& opt) {
   eo.stop_on_failure = !opt.keep_going;
   eo.seed_bug = opt.mode == Options::Mode::kSeedBug;
   eo.unreliable_only = opt.unreliable_only;
+  eo.scale_only = opt.scale_only;
   eo.jobs = opt.jobs;
   if (opt.mode == Options::Mode::kSmoke && eo.max_runs == 0) eo.max_runs = 64;
 
