@@ -1,6 +1,5 @@
 #include "detect/failure_detector.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -81,10 +80,9 @@ bool FailureDetector::suspects(ProcessId peer) const {
 
 std::vector<ProcessId> FailureDetector::suspected() const {
   std::vector<ProcessId> out;
-  for (const auto& [id, st] : peers_) {
+  for (const auto& [id, st] : peers_) {  // ordered map: out is sorted by id
     if (st.suspected) out.push_back(id);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

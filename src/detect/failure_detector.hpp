@@ -13,7 +13,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -75,7 +75,11 @@ class FailureDetector {
   DetectorConfig config_;
   SendHeartbeat send_;
   SuspicionChanged on_change_;
-  std::unordered_map<ProcessId, PeerState> peers_;
+  // Ordered map: sweep() fires suspicion callbacks while iterating, and the
+  // callback order must be the peer-id order on every platform — an
+  // unordered container would leak hash order into recovery leadership
+  // races (rrlint D2).
+  std::map<ProcessId, PeerState> peers_;
   sim::RepeatingTimer beat_timer_;
   sim::RepeatingTimer sweep_timer_;
 };

@@ -13,8 +13,8 @@ Bytes Checkpoint::encode() const {
   w.u16(kVersion);
   w.boolean(app_started);
   w.u64(rsn);
-  fbl::encode(w, send_seq);
-  fbl::encode(w, recv_marks);
+  encode_watermarks(w, send_seq);
+  encode_watermarks(w, recv_marks);
   send_log.encode(w);
   det_log.encode(w);
   w.bytes(app_state);

@@ -2,6 +2,8 @@
 
 namespace rr::fbl {
 
+void encode_kind(BufWriter& w, FrameKind k) { w.u8(static_cast<std::uint8_t>(k)); }
+
 FrameKind decode_kind(BufReader& r) {
   const auto k = r.u8();
   if (k < 1 || k > 5) throw SerdeError("unknown frame kind " + std::to_string(k));
@@ -10,7 +12,7 @@ FrameKind decode_kind(BufReader& r) {
 
 Bytes AppFrame::encode() const {
   BufWriter w(payload.size() + piggyback_bytes() + 32);
-  w.u8(static_cast<std::uint8_t>(FrameKind::kApp));
+  encode_kind(w, FrameKind::kApp);
   w.u32(inc);
   w.u64(ssn);
   w.varint(dets.size());
@@ -32,7 +34,7 @@ AppFrame AppFrame::decode(BufReader& r) {
 
 Bytes HeartbeatFrame::encode() const {
   BufWriter w(8);
-  w.u8(static_cast<std::uint8_t>(FrameKind::kHeartbeat));
+  encode_kind(w, FrameKind::kHeartbeat);
   w.u32(inc);
   return std::move(w).take();
 }
@@ -45,9 +47,9 @@ HeartbeatFrame HeartbeatFrame::decode(BufReader& r) {
 
 Bytes CkptNoticeFrame::encode() const {
   BufWriter w(64);
-  w.u8(static_cast<std::uint8_t>(FrameKind::kCkptNotice));
+  encode_kind(w, FrameKind::kCkptNotice);
   w.u64(rsn);
-  fbl::encode(w, recv_marks);
+  encode_watermarks(w, recv_marks);
   return std::move(w).take();
 }
 

@@ -25,6 +25,8 @@ enum class FrameKind : std::uint8_t {
   kSnapshot = 5,  // Chandy-Lamport markers/reports, see snapshot/snapshot.hpp
 };
 
+/// Writes the leading kind byte.
+void encode_kind(BufWriter& w, FrameKind k);
 /// Reads and returns the leading kind byte.
 [[nodiscard]] FrameKind decode_kind(BufReader& r);
 

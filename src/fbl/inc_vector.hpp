@@ -39,7 +39,7 @@ inline void merge_max(IncVector& into, const IncVector& from) {
   return inc < incarnation_of(v, src);
 }
 
-inline void encode(BufWriter& w, const IncVector& v) {
+inline void encode_inc_vector(BufWriter& w, const IncVector& v) {
   w.varint(v.size());
   for (const auto& [p, inc] : v) {
     w.process_id(p);
@@ -74,11 +74,11 @@ struct IncDelta {
   friend bool operator==(const IncDelta&, const IncDelta&) = default;
 };
 
-inline void encode(BufWriter& w, const IncDelta& d) {
+inline void encode_inc_delta(BufWriter& w, const IncDelta& d) {
   w.varint(d.base_version);
   w.varint(d.version);
   w.boolean(d.full);
-  encode(w, d.entries);
+  encode_inc_vector(w, d.entries);
 }
 
 [[nodiscard]] inline IncDelta decode_inc_delta(BufReader& r) {

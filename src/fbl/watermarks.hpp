@@ -16,7 +16,7 @@ namespace rr::fbl {
 
 using Watermarks = std::map<ProcessId, Ssn>;
 
-inline void encode(BufWriter& w, const Watermarks& marks) {
+inline void encode_watermarks(BufWriter& w, const Watermarks& marks) {
   w.varint(marks.size());
   for (const auto& [source, ssn] : marks) {
     w.process_id(source);

@@ -1,0 +1,859 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+struct View {
+  const std::vector<Token>& t;
+
+  [[nodiscard]] std::size_t size() const { return t.size(); }
+  [[nodiscard]] std::string_view text(std::size_t i) const {
+    return i < t.size() ? t[i].text : std::string_view{};
+  }
+  [[nodiscard]] bool is(std::size_t i, std::string_view s) const { return text(i) == s; }
+  [[nodiscard]] bool ident(std::size_t i) const {
+    return i < t.size() && t[i].kind == Tok::kIdent;
+  }
+  [[nodiscard]] int line(std::size_t i) const { return i < t.size() ? t[i].line : 0; }
+};
+
+/// True when tokens[i] is qualified as std:: (i.e. preceded by `std ::`).
+bool std_qualified(const View& v, std::size_t i) {
+  return i >= 3 && v.is(i - 1, ":") && v.is(i - 2, ":") && v.is(i - 3, "std");
+}
+
+/// tokens[i] == '<' : returns the index just past the balancing '>', or npos
+/// when this is not a closed template argument list.
+std::size_t skip_template_args(const View& v, std::size_t i) {
+  if (!v.is(i, "<")) return npos;
+  int depth = 0;
+  for (std::size_t j = i; j < v.size(); ++j) {
+    const std::string_view s = v.text(j);
+    if (s == "<") ++depth;
+    else if (s == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (s == ";" || s == "{" || s == "}") {
+      return npos;  // statement ended: was a comparison, not a template
+    }
+  }
+  return npos;
+}
+
+bool contains_ident(const std::set<std::string, std::less<>>& set, std::string_view s) {
+  return set.find(s) != set.end();
+}
+
+// ---------------------------------------------------------------------------
+// D1 — banned nondeterminism primitives.
+
+constexpr std::string_view kAlwaysBanned[] = {
+    // randomness sources / engines / distributions
+    "srand", "rand_r", "drand48", "lrand48", "mrand48", "erand48",
+    "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b", "ranlux24", "ranlux48",
+    "uniform_int_distribution", "uniform_real_distribution",
+    "bernoulli_distribution", "normal_distribution", "poisson_distribution",
+    "exponential_distribution", "random_shuffle",
+    // wall clocks and calendar time
+    "system_clock", "steady_clock", "high_resolution_clock", "clock_gettime",
+    "gettimeofday", "timespec_get", "localtime", "localtime_r", "gmtime",
+    "gmtime_r",
+    // ambient process environment
+    "getenv", "secure_getenv", "setenv", "putenv", "unsetenv",
+};
+
+/// Banned only in call form `name(` (the bare words are common identifiers).
+constexpr std::string_view kCallFormBanned[] = {"rand", "time", "clock", "random",
+                                                "shuffle"};
+
+constexpr std::string_view kD1WhitelistFiles[] = {
+    // The sanctioned randomness implementation itself.
+    "src/common/rng.hpp",
+    "src/common/rng.cpp",
+};
+
+bool d1_whitelisted(const std::string& path) {
+  return std::any_of(std::begin(kD1WhitelistFiles), std::end(kD1WhitelistFiles),
+                     [&](std::string_view w) { return path == w; });
+}
+
+void check_d1(const FileScan& f, std::vector<Diagnostic>& out) {
+  if (d1_whitelisted(f.path)) return;
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v.ident(i)) continue;
+    const std::string_view s = v.text(i);
+
+    const bool always = std::find(std::begin(kAlwaysBanned), std::end(kAlwaysBanned),
+                                  s) != std::end(kAlwaysBanned);
+    const bool call_form = !always &&
+                           std::find(std::begin(kCallFormBanned),
+                                     std::end(kCallFormBanned),
+                                     s) != std::end(kCallFormBanned);
+    if (!always && !call_form) continue;
+
+    if (call_form) {
+      if (!v.is(i + 1, "(")) continue;  // not a call
+      // Member access `x.time(...)` / `x->time(...)` is some other API.
+      if (v.is(i - 1, ".")) continue;
+      if (v.is(i - 1, ">") && v.is(i - 2, "-")) continue;
+      // Qualified: only std:: (or the global namespace) is the libc symbol.
+      if (v.is(i - 1, ":") && v.is(i - 2, ":") && v.ident(i - 3) &&
+          !v.is(i - 3, "std")) {
+        continue;  // SomeClass::time(...)
+      }
+    }
+    out.push_back({f.path, v.line(i), RuleId::kD1BannedCall,
+                   "'" + std::string(s) + "' is a banned nondeterminism primitive"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — unordered-container iteration (cross-file per module).
+
+constexpr std::string_view kUnorderedHeads[] = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+bool is_unordered_head(std::string_view s) {
+  return std::find(std::begin(kUnorderedHeads), std::end(kUnorderedHeads), s) !=
+         std::end(kUnorderedHeads);
+}
+
+struct ModuleNames {
+  std::set<std::string, std::less<>> unordered_vars;
+  std::set<std::string, std::less<>> unordered_aliases;
+};
+
+/// Pass A: record variables (and type aliases) of unordered container type.
+void collect_unordered_names(const FileScan& f, ModuleNames& names) {
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v.ident(i) || !is_unordered_head(v.text(i))) continue;
+    // `using Alias = std::unordered_map<...>`
+    if (i >= 5 && v.is(i - 1, ":") && v.is(i - 2, ":") && v.is(i - 3, "std") &&
+        v.is(i - 4, "=") && v.ident(i - 5) && v.is(i - 6, "using")) {
+      names.unordered_aliases.insert(std::string(v.text(i - 5)));
+    }
+    const std::size_t after = skip_template_args(v, i + 1);
+    if (after == npos) continue;
+    std::size_t j = after;
+    while (v.is(j, "&") || v.is(j, "*") || v.is(j, "const")) ++j;
+    if (v.ident(j) && (v.is(j + 1, ";") || v.is(j + 1, "=") || v.is(j + 1, "{") ||
+                       v.is(j + 1, ",") || v.is(j + 1, ")"))) {
+      names.unordered_vars.insert(std::string(v.text(j)));
+    }
+  }
+  // Variables declared through an alias: `Alias name ;`
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    if (!v.ident(i) || !contains_ident(names.unordered_aliases, v.text(i))) continue;
+    std::size_t j = i + 1;
+    while (v.is(j, "&") || v.is(j, "*") || v.is(j, "const")) ++j;
+    if (v.ident(j) && (v.is(j + 1, ";") || v.is(j + 1, "=") || v.is(j + 1, "{") ||
+                       v.is(j + 1, ",") || v.is(j + 1, ")"))) {
+      names.unordered_vars.insert(std::string(v.text(j)));
+    }
+  }
+}
+
+/// Pass B: flag range-for over, or .begin() on, a recorded unordered name.
+void check_d2(const FileScan& f, const ModuleNames& names, std::vector<Diagnostic>& out) {
+  if (!sim_visible(f.module)) return;
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.is(i, "for") && v.is(i + 1, "(")) {
+      // Find the range-for ':' at parenthesis depth 1 (':' not part of '::').
+      int depth = 0;
+      std::size_t colon = npos, close = npos;
+      for (std::size_t j = i + 1; j < v.size(); ++j) {
+        const std::string_view s = v.text(j);
+        if (s == "(") ++depth;
+        else if (s == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (s == ";") {
+          break;  // classic for loop
+        } else if (s == ":" && depth == 1 && !v.is(j + 1, ":") && !v.is(j - 1, ":") &&
+                   colon == npos) {
+          colon = j;
+        }
+      }
+      if (colon == npos || close == npos) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (v.ident(j) && contains_ident(names.unordered_vars, v.text(j))) {
+          out.push_back({f.path, v.line(j), RuleId::kD2UnorderedIteration,
+                         "range-for over unordered container '" +
+                             std::string(v.text(j)) + "'"});
+          break;
+        }
+      }
+      continue;
+    }
+    if (v.ident(i) && contains_ident(names.unordered_vars, v.text(i))) {
+      std::size_t j = i + 1;
+      if (v.is(j, ".")) ++j;
+      else if (v.is(j, "-") && v.is(j + 1, ">")) j += 2;
+      else continue;
+      const std::string_view m = v.text(j);
+      if ((m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") &&
+          v.is(j + 1, "(")) {
+        out.push_back({f.path, v.line(i), RuleId::kD2UnorderedIteration,
+                       "iterator walk over unordered container '" +
+                           std::string(v.text(i)) + "'"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3 — pointer-keyed containers; D4 — address-as-value.
+
+constexpr std::string_view kKeyedHeads[] = {
+    "map", "set", "multimap", "multiset", "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset", "hash"};
+
+void check_d3(const FileScan& f, std::vector<Diagnostic>& out) {
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v.ident(i)) continue;
+    const std::string_view s = v.text(i);
+    if (std::find(std::begin(kKeyedHeads), std::end(kKeyedHeads), s) ==
+        std::end(kKeyedHeads)) {
+      continue;
+    }
+    if (!std_qualified(v, i)) continue;  // only the std containers
+    if (!v.is(i + 1, "<")) continue;
+    // Scan the first template argument (the key / element type).
+    int depth = 0;
+    bool pointer = false;
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      const std::string_view w = v.text(j);
+      if (w == "<") ++depth;
+      else if (w == ">") {
+        if (--depth == 0) break;
+      } else if (w == "," && depth == 1) {
+        break;  // end of the key type
+      } else if (w == "*" && depth == 1) {
+        pointer = true;
+      } else if (w == ";" || w == "{" || w == "}") {
+        break;  // not a template after all
+      }
+    }
+    if (pointer) {
+      out.push_back({f.path, v.line(i), RuleId::kD3PointerKeyedContainer,
+                     "std::" + std::string(s) + " keyed/ordered by a pointer type"});
+    }
+  }
+}
+
+void check_d4(const FileScan& f, std::vector<Diagnostic>& out) {
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.ident(i) && (v.is(i, "uintptr_t") || v.is(i, "intptr_t"))) {
+      std::string msg = "'";
+      msg += v.text(i);
+      msg += "' converts an address to a value";
+      out.push_back({f.path, v.line(i), RuleId::kD4AddressAsValue, std::move(msg)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scope walk shared by the G and S rules.
+
+enum class Scope : std::uint8_t { kNamespace, kClass, kEnum, kFunction, kBlock, kInit };
+
+struct ScopeFrame {
+  Scope kind;
+  std::string fn_name;     ///< kFunction only
+  std::size_t sig_begin{npos};  ///< kFunction: index of the signature's '('
+  std::size_t open{npos};       ///< index of the '{'
+};
+
+bool is_code(Scope s) { return s == Scope::kFunction || s == Scope::kBlock; }
+
+bool codec_name(std::string_view n) {
+  return n == "encode" || n == "decode" || n.substr(0, 7) == "encode_" ||
+         n.substr(0, 7) == "decode_";
+}
+
+/// Walk back from the '{' at `i` and classify the scope it opens. When the
+/// scope is a function definition, fills `name` and `sig_begin`.
+Scope classify_brace(const View& v, std::size_t i, bool in_code, std::string& name,
+                     std::size_t& sig_begin) {
+  if (i == 0) return Scope::kNamespace;
+  const std::string_view prev = v.text(i - 1);
+  if (prev == "=" || prev == "," || prev == "(" || prev == "{" || prev == "[" ||
+      prev == "]" || prev == "return") {
+    return in_code ? Scope::kBlock : Scope::kInit;
+  }
+  // Collect the statement head: back to the previous ';', '{' or '}'.
+  const std::size_t lo = i > 96 ? i - 96 : 0;
+  std::size_t begin = lo;
+  for (std::size_t j = i; j-- > lo;) {
+    const std::string_view s = v.text(j);
+    if (s == ";" || s == "{" || s == "}") {
+      begin = j + 1;
+      break;
+    }
+  }
+  bool saw_close = false;
+  std::size_t close_at = npos;
+  bool saw_enum = false, saw_class = false, saw_namespace = false;
+  for (std::size_t j = begin; j < i; ++j) {
+    const std::string_view s = v.text(j);
+    if (s == ")") {
+      saw_close = true;
+      close_at = j;
+    } else if (s == "enum") {
+      saw_enum = true;
+    } else if (s == "class" || s == "struct" || s == "union") {
+      saw_class = true;
+    } else if (s == "namespace") {
+      saw_namespace = true;
+    }
+  }
+  if (saw_namespace) return Scope::kNamespace;
+  if (saw_enum) return Scope::kEnum;
+  if (saw_class) return Scope::kClass;
+  if (saw_close) {
+    if (in_code) return Scope::kBlock;
+    // Function definition: find the matching '(' for the last ')'.
+    int depth = 0;
+    for (std::size_t j = close_at + 1; j-- > 0;) {
+      const std::string_view s = v.text(j);
+      if (s == ")") ++depth;
+      else if (s == "(") {
+        if (--depth == 0) {
+          sig_begin = j;
+          std::size_t k = j;  // token before '(' is the name (skip templates)
+          if (k > 0 && v.is(k - 1, ">")) {
+            int tdepth = 0;
+            for (std::size_t m = k; m-- > 0;) {
+              if (v.is(m, ">")) ++tdepth;
+              else if (v.is(m, "<") && --tdepth == 0) {
+                k = m;
+                break;
+              }
+            }
+          }
+          if (k > 0 && v.ident(k - 1)) name = std::string(v.text(k - 1));
+          break;
+        }
+      }
+    }
+    return Scope::kFunction;
+  }
+  return in_code ? Scope::kBlock : Scope::kInit;
+}
+
+constexpr std::string_view kDeclSkipKeywords[] = {
+    "using", "typedef", "friend", "namespace", "template", "static_assert",
+    "operator", "enum", "class", "struct", "union", "concept", "requires",
+    "asm", "extern", "goto", "return", "if", "for", "while", "switch", "case",
+    "delete", "new", "throw", "public", "protected", "private"};
+
+/// Evaluate one namespace- or class-scope statement for G1.
+void eval_global_statement(const FileScan& f, const View& v,
+                           const std::vector<std::size_t>& stmt, Scope scope,
+                           bool brace_init, std::vector<Diagnostic>& out) {
+  if (stmt.size() < 2) return;
+  bool exempt = false, is_static = false;
+  for (const std::size_t i : stmt) {
+    const std::string_view s = v.text(i);
+    if (std::find(std::begin(kDeclSkipKeywords), std::end(kDeclSkipKeywords), s) !=
+        std::end(kDeclSkipKeywords)) {
+      return;  // not a plain variable definition
+    }
+    if (s == "const" || s == "constexpr" || s == "consteval" || s == "thread_local" ||
+        s == "atomic" || s == "atomic_flag") {
+      exempt = true;
+    }
+    if (s == "static") is_static = true;
+  }
+  if (scope == Scope::kClass && !is_static) return;  // instance members are fine
+  if (exempt) return;
+  // A '(' at template depth 0 before any '=' means a function declaration.
+  int tdepth = 0;
+  bool assigned = false, paren = false;
+  for (const std::size_t i : stmt) {
+    const std::string_view s = v.text(i);
+    if (s == "<") ++tdepth;
+    else if (s == ">") --tdepth;
+    else if (s == "=" && tdepth == 0) {
+      assigned = true;
+      break;
+    } else if (s == "(" && tdepth <= 0) {
+      paren = true;
+      break;
+    }
+  }
+  if (paren) return;  // function declaration (or constructor-style init)
+  // Plain declarations without initializer still default-construct mutable
+  // state; require an identifier beyond the type to avoid flagging stray
+  // expression statements.
+  (void)assigned;
+  (void)brace_init;
+  out.push_back({f.path, v.line(stmt.front()), RuleId::kG1GlobalMutable,
+                 scope == Scope::kClass ? "mutable static data member"
+                                        : "mutable namespace-scope variable"});
+}
+
+void check_scoped_rules(const FileScan& f, std::vector<Diagnostic>& out) {
+  const View v{f.tokens};
+  const bool serde_core =
+      f.path == "src/common/serde.hpp" || f.path == "src/common/serde.cpp";
+
+  std::vector<ScopeFrame> stack;
+  stack.push_back({Scope::kNamespace, "", npos, npos});
+  // Statement accumulation for the innermost namespace/class scope.
+  std::vector<std::size_t> stmt;
+  bool stmt_brace_init = false;
+  int codec_depth = 0;  // nesting inside a codec function body
+
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::string_view s = v.text(i);
+    const Scope top = stack.back().kind;
+
+    if (s == "{") {
+      std::string name;
+      std::size_t sig = npos;
+      Scope kind = classify_brace(v, i, is_code(top), name, sig);
+      if (top == Scope::kEnum) kind = Scope::kInit;  // nothing nests in enums
+      if (kind == Scope::kInit && !is_code(top)) {
+        stmt_brace_init = true;
+      } else if (!is_code(top) && kind != Scope::kInit) {
+        stmt.clear();  // the statement head became a scope introducer
+        stmt_brace_init = false;
+      }
+      stack.push_back({kind, name, sig, i});
+      if (kind == Scope::kFunction && codec_name(name)) ++codec_depth;
+      continue;
+    }
+    if (s == "}") {
+      if (stack.size() > 1) {
+        const ScopeFrame closing = stack.back();
+        stack.pop_back();
+        if (closing.kind == Scope::kFunction) {
+          if (codec_name(closing.fn_name)) --codec_depth;
+          // S3: a decode definition must touch BufReader somewhere between
+          // its signature and its closing brace.
+          if (!serde_core && (closing.fn_name == "decode" ||
+                              closing.fn_name.substr(0, 7) == "decode_")) {
+            const std::size_t from = closing.sig_begin == npos
+                                         ? closing.open
+                                         : closing.sig_begin;
+            bool guarded = false;
+            for (std::size_t j = from; j <= i && j < v.size(); ++j) {
+              if (v.is(j, "BufReader")) {
+                guarded = true;
+                break;
+              }
+            }
+            if (!guarded) {
+              out.push_back({f.path, v.line(closing.open), RuleId::kS3UnguardedDecode,
+                             "'" + closing.fn_name + "' decodes without BufReader"});
+            }
+          }
+        }
+        // Leaving a nested scope back into a declaration context ends the
+        // pending statement (function/class bodies are self-contained).
+        if (!is_code(stack.back().kind) && closing.kind != Scope::kInit) {
+          stmt.clear();
+          stmt_brace_init = false;
+        }
+      }
+      continue;
+    }
+
+    if (top == Scope::kNamespace || top == Scope::kClass) {
+      if (s == ";") {
+        eval_global_statement(f, v, stmt, top, stmt_brace_init, out);
+        stmt.clear();
+        stmt_brace_init = false;
+      } else {
+        stmt.push_back(i);
+      }
+      continue;
+    }
+
+    if (is_code(top)) {
+      // G2: function-local static (thread_local alone is the sanctioned form).
+      if (s == "static") {
+        bool exempt = false;
+        bool function_decl = false;
+        int tdepth = 0;
+        for (std::size_t j = i + 1; j < v.size() && !v.is(j, ";") && !v.is(j, "{");
+             ++j) {
+          const std::string_view w = v.text(j);
+          if (w == "const" || w == "constexpr" || w == "thread_local" ||
+              w == "atomic" || w == "atomic_flag") {
+            exempt = true;
+            break;
+          }
+          if (w == "<") ++tdepth;
+          else if (w == ">") --tdepth;
+          else if (w == "=" && tdepth == 0) break;
+          else if (w == "(" && tdepth <= 0) {
+            function_decl = true;  // `static Foo make();` — not a variable
+            break;
+          }
+        }
+        if (!exempt && !function_decl) {
+          out.push_back({f.path, v.line(i), RuleId::kG2LocalStaticMutable,
+                         "mutable function-local static"});
+        }
+      }
+      // S2: raw memory operations inside codec bodies.
+      if (codec_depth > 0 && !serde_core &&
+          (s == "memcpy" || s == "memmove" || s == "memset" ||
+           s == "reinterpret_cast" || s == "const_cast")) {
+        out.push_back({f.path, v.line(i), RuleId::kS2RawMemoryInCodec,
+                       "'" + std::string(s) + "' inside a codec body"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S1 — codec pairing (global).
+
+struct CodecSeen {
+  std::string file;
+  int line{0};
+};
+
+void collect_codec_names(const FileScan& f,
+                         std::map<std::string, CodecSeen>& encoders,
+                         std::map<std::string, CodecSeen>& decoders) {
+  if (f.module == "lint" || f.module == "tests") return;  // fixtures / own tables
+  const View v{f.tokens};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v.ident(i)) continue;
+    const std::string_view s = v.text(i);
+    if (s.size() <= 7) continue;
+    const bool enc = s.substr(0, 7) == "encode_";
+    const bool dec = s.substr(0, 7) == "decode_";
+    if (!enc && !dec) continue;
+    const std::string suffix(s.substr(7));
+    auto& side = enc ? encoders : decoders;
+    side.try_emplace(suffix, CodecSeen{f.path, v.line(i)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L rules.
+
+void check_l1_l3(const FileScan& f, std::vector<Diagnostic>& out) {
+  const int own_rank = module_rank(f.module);
+  for (const Include& inc : f.includes) {
+    if (inc.angled) continue;  // system headers are not layered
+    const std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string dep = inc.path.substr(0, slash);
+    if (dep == "tests" || dep == f.module) continue;
+    const int dep_rank = module_rank(dep);
+    if (dep_rank < 0) {
+      out.push_back({f.path, inc.line, RuleId::kL3UnknownModule,
+                     "include of '" + inc.path + "': module '" + dep +
+                         "' is not in the layer table"});
+      continue;
+    }
+    if (own_rank >= 0 && dep_rank >= own_rank) {
+      out.push_back({f.path, inc.line, RuleId::kL1UpwardInclude,
+                     "'" + f.module + "' (rank " + std::to_string(own_rank) +
+                         ") must not include '" + inc.path + "' ('" + dep +
+                         "' has rank " + std::to_string(dep_rank) + ")"});
+    }
+  }
+}
+
+/// Resolve a quoted include target to a scanned file's rel_path, if present.
+std::size_t resolve_include(const std::vector<FileScan>& files, const FileScan& from,
+                            const std::string& target) {
+  auto find = [&](const std::string& p) -> std::size_t {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (files[i].path == p) return i;
+    }
+    return npos;
+  };
+  std::size_t hit = find("src/" + target);
+  if (hit != npos) return hit;
+  hit = find(target);
+  if (hit != npos) return hit;
+  const std::size_t dir = from.path.rfind('/');
+  if (dir != std::string::npos) {
+    hit = find(from.path.substr(0, dir + 1) + target);
+    if (hit != npos) return hit;
+  }
+  return npos;
+}
+
+void check_l2(const std::vector<FileScan>& files, std::vector<Diagnostic>& out) {
+  const std::size_t n = files.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Include& inc : files[i].includes) {
+      if (inc.angled) continue;
+      const std::size_t j = resolve_include(files, files[i], inc.path);
+      if (j != npos && j != i) adj[i].push_back(j);
+    }
+  }
+  // Iterative Tarjan SCC.
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  int next_index = 0;
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> call{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      if (fr.edge < adj[fr.v].size()) {
+        const std::size_t w = adj[fr.v][fr.edge++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+      } else {
+        if (low[fr.v] == index[fr.v]) {
+          std::vector<std::size_t> scc;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == fr.v) break;
+          }
+          if (scc.size() > 1) {
+            std::vector<std::string> members;
+            members.reserve(scc.size());
+            for (const std::size_t w : scc) members.push_back(files[w].path);
+            std::sort(members.begin(), members.end());
+            std::string list;
+            for (const std::string& m : members) {
+              if (!list.empty()) list += " -> ";
+              list += m;
+            }
+            out.push_back({members.front(), 1, RuleId::kL2IncludeCycle,
+                           "include cycle: " + list});
+          }
+        }
+        const std::size_t child = fr.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[child]);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A1 + suppression application.
+
+void check_a1(const FileScan& f, std::vector<Diagnostic>& out) {
+  for (const Suppression& sup : f.suppressions) {
+    if (!sup.parsed) {
+      out.push_back({f.path, sup.line, RuleId::kA1BadSuppression,
+                     "malformed suppression '" + sup.raw +
+                         "' (expected: rrlint: allow(<RULE>): <justification>)"});
+      continue;
+    }
+    for (const std::string& r : sup.rules) {
+      RuleId id;
+      if (!parse_rule_id(r, id)) {
+        out.push_back({f.path, sup.line, RuleId::kA1BadSuppression,
+                       "suppression names unknown rule '" + r + "'"});
+      }
+    }
+    if (!sup.justified) {
+      out.push_back({f.path, sup.line, RuleId::kA1BadSuppression,
+                     "suppression '" + sup.raw + "' carries no justification"});
+    }
+  }
+}
+
+bool suppressed(const FileScan& f, const Diagnostic& d) {
+  if (d.rule == RuleId::kA1BadSuppression) return false;  // never silenceable
+  const char* id = rule_info(d.rule).id;
+  for (const Suppression& sup : f.suppressions) {
+    if (!sup.parsed || !sup.justified) continue;
+    const bool line_match =
+        sup.line == d.line || (sup.own_line && sup.line + 1 == d.line);
+    if (!line_match) continue;
+    for (const std::string& r : sup.rules) {
+      if (r == id) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linter.
+
+void Linter::add_file(std::string rel_path, std::string content) {
+  std::string module = module_of(rel_path);
+  files_.push_back(scan_source(std::move(rel_path), std::move(module), std::move(content)));
+}
+
+bool Linter::add_tree(const std::string& root, const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  bool ok = true;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      io_errors_.push_back("not a directory: " + base.string());
+      ok = false;
+      continue;
+    }
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        paths.push_back(it->path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        io_errors_.push_back("unreadable: " + p.string());
+        ok = false;
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      add_file(fs::path(fs::relative(p, root)).generic_string(), buf.str());
+    }
+  }
+  return ok;
+}
+
+std::vector<Diagnostic> Linter::run() {
+  // Pass A: unordered names per module (members are declared in headers but
+  // iterated in .cpp files, so the name sets must span the module).
+  std::map<std::string, ModuleNames> names;
+  for (const FileScan& f : files_) collect_unordered_names(f, names[f.module]);
+
+  std::vector<Diagnostic> all;
+  std::map<std::string, CodecSeen> encoders, decoders;
+  for (const FileScan& f : files_) {
+    check_d1(f, all);
+    check_d2(f, names[f.module], all);
+    check_d3(f, all);
+    check_d4(f, all);
+    check_scoped_rules(f, all);
+    check_l1_l3(f, all);
+    check_a1(f, all);
+    collect_codec_names(f, encoders, decoders);
+    stats_.lines += static_cast<std::size_t>(
+        f.tokens.empty() ? 0 : f.tokens.back().line);
+  }
+  for (const auto& [suffix, seen] : encoders) {
+    if (decoders.find(suffix) == decoders.end()) {
+      all.push_back({seen.file, seen.line, RuleId::kS1UnpairedCodec,
+                     "'encode_" + suffix + "' has no matching 'decode_" + suffix + "'"});
+    }
+  }
+  for (const auto& [suffix, seen] : decoders) {
+    if (encoders.find(suffix) == encoders.end()) {
+      all.push_back({seen.file, seen.line, RuleId::kS1UnpairedCodec,
+                     "'decode_" + suffix + "' has no matching 'encode_" + suffix + "'"});
+    }
+  }
+  check_l2(files_, all);
+
+  // Apply suppressions.
+  std::map<std::string, const FileScan*> by_path;
+  for (const FileScan& f : files_) by_path[f.path] = &f;
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : all) {
+    const auto it = by_path.find(d.file);
+    if (it != by_path.end() && suppressed(*it->second, d)) {
+      ++stats_.suppressed;
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+  });
+  stats_.files = files_.size();
+  stats_.diagnostics = kept.size();
+  for (const Diagnostic& d : kept) ++stats_.per_rule[rule_info(d.rule).id];
+  return kept;
+}
+
+std::string Linter::graph_dot() const {
+  // module -> set of included modules, from the scanned include directives.
+  std::map<std::string, std::set<std::string>> edges;
+  for (const FileScan& f : files_) {
+    if (module_rank(f.module) < 0) continue;
+    for (const Include& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string dep = inc.path.substr(0, slash);
+      if (dep != f.module && module_rank(dep) >= 0) edges[f.module].insert(dep);
+    }
+  }
+  std::ostringstream out;
+  out << "// Module include DAG (generated by rrlint --graph-out).\n";
+  out << "// Edge A -> B means: A includes headers of B. Legal iff rank(B) < rank(A).\n";
+  out << "digraph layering {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  std::set<std::string> nodes;
+  for (const FileScan& f : files_) {
+    if (module_rank(f.module) >= 0) nodes.insert(f.module);
+  }
+  for (const std::string& n : nodes) {
+    out << "  \"" << n << "\" [label=\"" << n << "\\nrank " << module_rank(n)
+        << "\"];\n";
+  }
+  for (const auto& [from, deps] : edges) {
+    for (const std::string& to : deps) {
+      out << "  \"" << from << "\" -> \"" << to << "\";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  const RuleInfo& info = rule_info(d.rule);
+  return d.file + ":" + std::to_string(d.line) + ": [" + info.id + "] " + d.message +
+         " — " + info.why;
+}
+
+}  // namespace rr::lint

@@ -1,0 +1,54 @@
+// rrlint driver: feed it files (from disk or inline, for tests), run the
+// rule passes, collect diagnostics with suppressions applied.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "token.hpp"
+
+namespace rr::lint {
+
+struct Stats {
+  std::size_t files{0};
+  std::size_t lines{0};
+  std::size_t rules{kRuleCount};
+  std::size_t diagnostics{0};      ///< unsuppressed, i.e. what run() returned
+  std::size_t suppressed{0};       ///< silenced by a justified allow(...)
+  std::map<std::string, std::size_t> per_rule;  ///< unsuppressed, by rule id
+};
+
+class Linter {
+ public:
+  /// Registers one source file. `rel_path` is repo-relative with forward
+  /// slashes; the layering module is derived from it.
+  void add_file(std::string rel_path, std::string content);
+
+  /// Walks `root`/<dir> for each dir and add_file()s every *.hpp / *.cpp.
+  /// Returns false (with a message in io_errors()) when a dir is missing.
+  bool add_tree(const std::string& root, const std::vector<std::string>& dirs);
+
+  /// Runs every rule over everything added so far. Diagnostics are sorted
+  /// (file, line, rule) and deterministic. Callable once per Linter.
+  [[nodiscard]] std::vector<Diagnostic> run();
+
+  /// DOT rendering of the module include graph (stable ordering), for
+  /// --graph-out and the DESIGN.md layering figure.
+  [[nodiscard]] std::string graph_dot() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::string>& io_errors() const { return io_errors_; }
+  [[nodiscard]] const std::vector<FileScan>& files() const { return files_; }
+
+ private:
+  std::vector<FileScan> files_;
+  std::vector<std::string> io_errors_;
+  Stats stats_;
+};
+
+/// Formats one diagnostic as "path:line: [ID] message — why".
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace rr::lint

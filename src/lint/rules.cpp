@@ -1,0 +1,107 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace rr::lint {
+namespace {
+
+constexpr std::array<RuleInfo, kRuleCount> kRules = {{
+    {"D1", "banned nondeterminism primitive",
+     "randomness must flow through common/rng forked streams and time through the "
+     "simulator clock, or --replay and --jobs parity break"},
+    {"D2", "iteration over an unordered container in sim-visible code",
+     "hash-table iteration order is implementation-defined and leaks into message, "
+     "callback and trace order"},
+    {"D3", "pointer-keyed container",
+     "allocator addresses differ run to run, so key order (or hash order) is not "
+     "reproducible"},
+    {"D4", "address converted to an integer value",
+     "pointer values are not stable across runs; an address that reaches a key, "
+     "hash or trace breaks replay"},
+    {"G1", "mutable namespace-scope or static-member state",
+     "parallel schedule exploration runs one sim per worker; process-wide mutable "
+     "state couples them (must be const, thread_local or std::atomic)"},
+    {"G2", "mutable function-local static",
+     "hidden cross-instance coupling; must be const, thread_local or std::atomic"},
+    {"S1", "unpaired codec function",
+     "every encode_X needs a decode_X twin (and vice versa) so wire formats stay "
+     "round-trippable and fuzzable"},
+    {"S2", "raw memory operation inside a codec body",
+     "codecs must speak BufWriter/BufReader only; raw memcpy/casts bypass the "
+     "bounds-guarded core in common/serde"},
+    {"S3", "decode path that never touches BufReader",
+     "peer input must go through the bounds-checked reader or malformed frames "
+     "become undefined behaviour"},
+    {"L1", "include against the module layering order",
+     "upward includes re-tangle the DAG that keeps protocol layers independently "
+     "testable and cycle-free"},
+    {"L2", "include cycle",
+     "cyclic headers make build order and layer ownership ambiguous"},
+    {"L3", "include into a module absent from the layer table",
+     "new modules must be ranked in src/lint/rules.cpp before code can depend on "
+     "them"},
+    {"A1", "malformed or unjustified rrlint suppression",
+     "suppressions require a known rule id and a written justification; anything "
+     "else silences nothing"},
+}};
+
+/// Module layering ranks. An include from module A into module B is legal
+/// iff rank(B) < rank(A) (or A == B). Keep in sync with DESIGN.md §10.
+constexpr std::pair<const char*, int> kLayers[] = {
+    {"common", 0},
+    {"lint", 1},  // std-only; ranked above common so it may adopt it later
+    {"metrics", 1},
+    {"sim", 1},
+    {"exec", 1},
+    {"trace", 2},
+    {"app", 2},
+    {"fbl", 2},
+    {"detect", 2},
+    {"obs", 3},
+    {"snapshot", 3},
+    {"net", 4},
+    {"storage", 4},
+    {"recovery", 5},
+    {"runtime", 6},
+    {"analysis", 6},
+    {"check", 7},
+    {"harness", 7},
+    {"tools", 8},
+    {"bench", 8},
+    {"tests", 8},
+    {"examples", 8},
+};
+
+constexpr const char* kSimVisible[] = {
+    "common", "sim",      "metrics",  "trace",   "obs",  "net", "storage",
+    "detect", "fbl",      "snapshot", "recovery", "runtime", "app",
+};
+
+}  // namespace
+
+const RuleInfo& rule_info(RuleId id) { return kRules[static_cast<std::size_t>(id)]; }
+
+bool parse_rule_id(const std::string& text, RuleId& out) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (text == kRules[i].id) {
+      out = static_cast<RuleId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+int module_rank(const std::string& module) {
+  for (const auto& [name, rank] : kLayers) {
+    if (module == name) return rank;
+  }
+  return -1;
+}
+
+bool sim_visible(const std::string& module) {
+  return std::any_of(std::begin(kSimVisible), std::end(kSimVisible),
+                     [&](const char* m) { return module == m; });
+}
+
+}  // namespace rr::lint

@@ -1,0 +1,65 @@
+// rrlint rule table — the machine-checked half of the repo's determinism
+// contract (DESIGN.md §10 is the prose half).
+//
+// Families:
+//   D (determinism)   ambient nondeterminism must not reach sim-visible code
+//   G (global state)  process-wide mutable state breaks parallel exploration
+//   S (serde/codec)   wire codecs must be paired, bounds-guarded, cast-free
+//   L (layering)      the module DAG is acyclic and includes point downward
+//   A (analyzer)      suppression hygiene for rrlint itself
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rr::lint {
+
+enum class RuleId : std::uint8_t {
+  kD1BannedCall,          ///< rand/clock/env primitive outside the whitelist
+  kD2UnorderedIteration,  ///< iterating an unordered container, sim-visible
+  kD3PointerKeyedContainer,  ///< container ordered/hashed by pointer value
+  kD4AddressAsValue,      ///< casting an address to an integer value
+  kG1GlobalMutable,       ///< namespace-scope / static-member mutable state
+  kG2LocalStaticMutable,  ///< function-local static mutable state
+  kS1UnpairedCodec,       ///< encode_X without decode_X (or vice versa)
+  kS2RawMemoryInCodec,    ///< memcpy/reinterpret_cast inside a codec body
+  kS3UnguardedDecode,     ///< decode function that never touches BufReader
+  kL1UpwardInclude,       ///< include against the module layering order
+  kL2IncludeCycle,        ///< cycle in the file-level include graph
+  kL3UnknownModule,       ///< include into a module missing from the table
+  kA1BadSuppression,      ///< malformed / unknown-rule / unjustified rrlint:
+};
+
+inline constexpr std::size_t kRuleCount = 13;
+
+struct RuleInfo {
+  const char* id;     ///< short id used in diagnostics and allow(...)
+  const char* title;  ///< one-line name
+  const char* why;    ///< one-line rationale appended to diagnostics
+};
+
+/// Indexed by RuleId.
+[[nodiscard]] const RuleInfo& rule_info(RuleId id);
+
+/// Reverse lookup for allow(...) parsing; false on unknown id.
+[[nodiscard]] bool parse_rule_id(const std::string& text, RuleId& out);
+
+struct Diagnostic {
+  std::string file;
+  int line{0};
+  RuleId rule{RuleId::kD1BannedCall};
+  std::string message;  ///< site-specific detail ("iterates 'peers_'")
+};
+
+/// Layer rank for a module name; -1 when unknown. Higher ranks may include
+/// lower ones, never the reverse. The table lives in rules.cpp.
+[[nodiscard]] int module_rank(const std::string& module);
+
+/// Modules whose behaviour feeds message contents / ordering / timing and
+/// therefore replay. Harness-side modules (check, exec, harness, analysis,
+/// lint, tools) reconcile results deterministically themselves and are out
+/// of scope for D2.
+[[nodiscard]] bool sim_visible(const std::string& module);
+
+}  // namespace rr::lint

@@ -1,0 +1,73 @@
+// rrlint token model.
+//
+// The analyzer never parses C++ — it works on a comment- and
+// string-stripped token stream per file, which is exactly enough to check
+// the determinism contract (banned identifiers, container iteration,
+// static-variable qualifiers, codec pairing, include layering) without
+// dragging in a real frontend. Deliberately dependency-free: the lint
+// layer sits below everything, including common/, so it can gate the whole
+// tree without participating in the graph it checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr::lint {
+
+enum class Tok : std::uint8_t {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< numeric literal (value never inspected)
+  kString,  ///< string literal, contents dropped ("" placeholder)
+  kChar,    ///< character literal, contents dropped
+  kPunct,   ///< single punctuation character
+};
+
+struct Token {
+  Tok kind{Tok::kPunct};
+  std::string_view text;  ///< view into FileScan::content
+  int line{0};
+};
+
+/// One #include directive.
+struct Include {
+  std::string path;  ///< target exactly as written between the delimiters
+  bool angled{false};
+  int line{0};
+};
+
+/// One suppression comment: the `rrlint:` marker followed by
+/// "allow(" + one or more rule ids + ")" + ":" + a justification.
+/// The justification is mandatory; an unjustified or malformed suppression
+/// never silences anything (and is itself reported as A1).
+struct Suppression {
+  int line{0};                      ///< line the comment starts on
+  bool own_line{false};             ///< no code before it on that line
+  bool parsed{false};               ///< grammar matched
+  bool justified{false};            ///< non-empty reason after the colon
+  std::vector<std::string> rules;   ///< rule ids inside allow(...)
+  std::string raw;                  ///< comment text, for diagnostics
+};
+
+/// Tokenized view of one translation unit (or header).
+struct FileScan {
+  std::string path;    ///< repo-relative, '/'-separated (e.g. "src/net/network.cpp")
+  std::string module;  ///< layering unit: "net", "tools", ... (see rules.cpp)
+  std::string content; ///< owned; every Token::text points into it
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+  std::vector<std::string> errors;  ///< tokenizer-level problems (unterminated literal, ...)
+};
+
+/// Tokenizes `content`. Never throws; malformed input is reported through
+/// FileScan::errors and tokenization resumes on the next line.
+[[nodiscard]] FileScan scan_source(std::string path, std::string module, std::string content);
+
+/// Layering unit for a repo-relative path: "src/net/x.cpp" -> "net",
+/// "tools/rrlint.cpp" -> "tools". Empty when the path is outside the known
+/// roots (caller decides whether to skip or treat as top-of-stack).
+[[nodiscard]] std::string module_of(std::string_view rel_path);
+
+}  // namespace rr::lint

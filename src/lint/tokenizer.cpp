@@ -1,0 +1,299 @@
+#include "token.hpp"
+
+#include <cctype>
+
+namespace rr::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Cursor over the raw bytes; tracks the current line.
+struct Cursor {
+  std::string_view s;
+  std::size_t i{0};
+  int line{1};
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek(std::size_t k = 0) const {
+    return i + k < s.size() ? s[i + k] : '\0';
+  }
+  void bump() {
+    if (s[i] == '\n') ++line;
+    ++i;
+  }
+  void bump(std::size_t n) {
+    for (std::size_t k = 0; k < n && !done(); ++k) bump();
+  }
+};
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view v) {
+  while (!v.empty() && std::isspace(static_cast<unsigned char>(v.front()))) v.remove_prefix(1);
+  while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back()))) v.remove_suffix(1);
+  return v;
+}
+
+/// Parses the body of a comment that contains the suppression marker.
+/// Expected shape: the marker, then allow(D2, D3): hash order never escapes.
+/// Comments that merely *mention* the marker in prose (no "allow" after it)
+/// are ignored rather than reported, so documentation can talk about the
+/// syntax without tripping A1.
+void parse_suppression(std::string_view comment, int line, bool own_line, FileScan& out) {
+  const std::size_t at = comment.find("rrlint:");
+  Suppression sup;
+  sup.line = line;
+  sup.own_line = own_line;
+  sup.raw = std::string(trim(comment.substr(at)));
+
+  std::string_view rest = trim(comment.substr(at + 7));
+  if (rest.substr(0, 5) != "allow") return;  // prose mention, not a suppression
+  {
+    rest = trim(rest.substr(5));
+    if (!rest.empty() && rest.front() == '(') {
+      const std::size_t close = rest.find(')');
+      if (close != std::string_view::npos) {
+        std::string_view list = rest.substr(1, close - 1);
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          std::string_view one = trim(list.substr(0, comma));
+          if (!one.empty()) sup.rules.emplace_back(one);
+          if (comma == std::string_view::npos) break;
+          list.remove_prefix(comma + 1);
+        }
+        std::string_view tail = trim(rest.substr(close + 1));
+        if (!tail.empty() && tail.front() == ':') {
+          sup.parsed = !sup.rules.empty();
+          sup.justified = !trim(tail.substr(1)).empty();
+        }
+      }
+    }
+  }
+  out.suppressions.push_back(std::move(sup));
+}
+
+}  // namespace
+
+std::string module_of(std::string_view rel_path) {
+  if (rel_path.substr(0, 4) == "src/") {
+    const std::string_view rest = rel_path.substr(4);
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) return std::string(rest.substr(0, slash));
+    return "src";  // loose file directly under src/
+  }
+  for (const std::string_view top : {"tools", "tests", "bench", "examples"}) {
+    if (rel_path.substr(0, top.size()) == top &&
+        (rel_path.size() == top.size() || rel_path[top.size()] == '/')) {
+      return std::string(top);
+    }
+  }
+  return {};
+}
+
+FileScan scan_source(std::string path, std::string module, std::string content) {
+  FileScan out;
+  out.path = std::move(path);
+  out.module = std::move(module);
+  out.content = std::move(content);
+
+  Cursor c{out.content};
+  // Line numbers of lines that already carry a non-comment token — used to
+  // decide whether a suppression comment sits on its own line.
+  int last_code_line = 0;
+
+  auto push = [&](Tok kind, std::size_t begin, std::size_t end, int line) {
+    out.tokens.push_back(Token{
+        kind, std::string_view(out.content).substr(begin, end - begin), line});
+    last_code_line = line;
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.bump();
+      continue;
+    }
+
+    // Line comment.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line;
+      const std::size_t begin = c.i;
+      while (!c.done() && c.peek() != '\n') c.bump();
+      const std::string_view body =
+          std::string_view(out.content).substr(begin, c.i - begin);
+      if (body.find("rrlint:") != std::string_view::npos) {
+        parse_suppression(body, line, last_code_line != line, out);
+      }
+      continue;
+    }
+
+    // Block comment.
+    if (ch == '/' && c.peek(1) == '*') {
+      const int line = c.line;
+      const bool own = last_code_line != line;
+      const std::size_t begin = c.i;
+      c.bump(2);
+      bool closed = false;
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          c.bump(2);
+          closed = true;
+          break;
+        }
+        c.bump();
+      }
+      if (!closed) {
+        out.errors.push_back("line " + std::to_string(line) + ": unterminated block comment");
+      }
+      const std::string_view body =
+          std::string_view(out.content).substr(begin, c.i - begin);
+      if (body.find("rrlint:") != std::string_view::npos) {
+        parse_suppression(body, line, own, out);
+      }
+      continue;
+    }
+
+    // Preprocessor directive: capture #include targets; tokenize everything
+    // else on the line normally (a #define body can hide a banned call).
+    if (ch == '#' && (out.tokens.empty() || out.tokens.back().line != c.line ||
+                      out.tokens.back().text != "\\")) {
+      const int line = c.line;
+      c.bump();  // '#'
+      while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.bump();
+      std::size_t dbegin = c.i;
+      while (!c.done() && ident_char(c.peek())) c.bump();
+      const std::string_view directive =
+          std::string_view(out.content).substr(dbegin, c.i - dbegin);
+      if (directive == "include") {
+        while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.bump();
+        const char open = c.peek();
+        const char close = open == '<' ? '>' : '"';
+        if (open == '<' || open == '"') {
+          c.bump();
+          const std::size_t tbegin = c.i;
+          while (!c.done() && c.peek() != close && c.peek() != '\n') c.bump();
+          if (c.peek() == close) {
+            out.includes.push_back(Include{
+                std::string(std::string_view(out.content).substr(tbegin, c.i - tbegin)),
+                open == '<', line});
+            c.bump();
+          } else {
+            out.errors.push_back("line " + std::to_string(line) +
+                                 ": unterminated #include target");
+          }
+        }
+        // Drop the rest of the line (comments after the target are handled
+        // by the main loop on the next iteration only if we keep them —
+        // simplest is to scan on; trailing // comments may carry rrlint:).
+        continue;
+      }
+      // Non-include directive: fall through; its tokens are scanned by the
+      // main loop (identifiers in #define bodies stay visible to rules).
+      continue;
+    }
+
+    // Raw string literal: R"tag( ... )tag"
+    if (ch == 'R' && c.peek(1) == '"') {
+      const int line = c.line;
+      const std::size_t begin = c.i;
+      c.bump(2);
+      std::string tag;
+      while (!c.done() && c.peek() != '(' && c.peek() != '\n' && tag.size() <= 16) {
+        tag.push_back(c.peek());
+        c.bump();
+      }
+      if (c.peek() != '(') {
+        out.errors.push_back("line " + std::to_string(line) + ": malformed raw string");
+        continue;
+      }
+      c.bump();  // '('
+      const std::string terminator = ")" + tag + "\"";
+      bool closed = false;
+      while (!c.done()) {
+        if (c.peek() == ')' &&
+            std::string_view(out.content).substr(c.i, terminator.size()) == terminator) {
+          c.bump(terminator.size());
+          closed = true;
+          break;
+        }
+        c.bump();
+      }
+      if (!closed) {
+        out.errors.push_back("line " + std::to_string(line) + ": unterminated raw string");
+      }
+      push(Tok::kString, begin, begin, line);  // contents dropped
+      continue;
+    }
+
+    // String / char literal (with escapes). Prefixes (u8, L, ...) tokenize
+    // as a preceding identifier, which is harmless.
+    if (ch == '"' || ch == '\'') {
+      const int line = c.line;
+      const char quote = ch;
+      c.bump();
+      bool closed = false;
+      while (!c.done()) {
+        if (c.peek() == '\\') {
+          c.bump(2);
+          continue;
+        }
+        if (c.peek() == quote) {
+          c.bump();
+          closed = true;
+          break;
+        }
+        if (c.peek() == '\n') break;  // runaway literal: stop at EOL
+        c.bump();
+      }
+      if (!closed) {
+        out.errors.push_back("line " + std::to_string(line) + ": unterminated " +
+                             (quote == '"' ? std::string("string") : std::string("char")) +
+                             " literal");
+      }
+      push(quote == '"' ? Tok::kString : Tok::kChar, c.i, c.i, line);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(ch)) {
+      const int line = c.line;
+      const std::size_t begin = c.i;
+      while (!c.done() && ident_char(c.peek())) c.bump();
+      push(Tok::kIdent, begin, c.i, line);
+      continue;
+    }
+
+    // Number (incl. hex/bin/float/digit separators — never inspected).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const int line = c.line;
+      const std::size_t begin = c.i;
+      while (!c.done()) {
+        const char p = c.peek();
+        if (ident_char(p) || p == '.' || p == '\'') {
+          c.bump();
+          continue;
+        }
+        if ((p == '+' || p == '-') && c.i > begin) {
+          const char prev = out.content[c.i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.bump();
+            continue;
+          }
+        }
+        break;
+      }
+      push(Tok::kNumber, begin, c.i, line);
+      continue;
+    }
+
+    // Single punctuation character.
+    push(Tok::kPunct, c.i, c.i + 1, c.line);
+    c.bump();
+  }
+
+  return out;
+}
+
+}  // namespace rr::lint

@@ -275,6 +275,8 @@ void Network::broadcast(ProcessId src, const Bytes& payload) {
 std::vector<ProcessId> Network::attached() const {
   std::vector<ProcessId> out;
   out.reserve(endpoints_.size());
+  // endpoints_ stays unordered for the O(1) per-packet lookup in send().
+  // rrlint: allow(D2): keys are sorted below before any caller sees them
   for (const auto& [id, st] : endpoints_) out.push_back(id);
   std::sort(out.begin(), out.end());
   return out;

@@ -32,7 +32,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -204,8 +203,11 @@ class ReliableTransport {
   AckSignal ack_signal_;
   Incarnation epoch_{0};
   std::vector<ProcessId> raw_peers_;  // sorted
-  std::unordered_map<ProcessId, SendChannel> send_;
-  std::unordered_map<ProcessId, RecvChannel> recv_;
+  // Ordered maps: reset() walks the channels on incarnation bumps and the
+  // resulting retransmit/ack traffic must be scheduled in peer-id order,
+  // not hash order (rrlint D2).
+  std::map<ProcessId, SendChannel> send_;
+  std::map<ProcessId, RecvChannel> recv_;
 };
 
 }  // namespace rr::net

@@ -166,20 +166,20 @@ void SpanTracer::on_recovery_complete(Time now, std::uint32_t node) {
 
 // --- protocol phases -------------------------------------------------------
 
-void SpanTracer::on_phase(Time now, const recovery::PhaseEventInfo& info) {
+void SpanTracer::on_phase(Time now, const trace::PhaseEventInfo& info) {
   const std::uint32_t node = slot_of(info.pid);
   if (node >= nodes_.size()) return;
   NodeState& st = nodes_[node];
   switch (info.phase) {
-    case recovery::PhaseId::kLeaderElected:
-    case recovery::PhaseId::kLeaderFailover:
+    case trace::PhaseId::kLeaderElected:
+    case trace::PhaseId::kLeaderFailover:
       // Leadership decided: the election phase of this node is over.
       if (st.phase != kNoSpan && span(st.phase).name == SpanName::kElection) {
         end_span(now, st.phase);
         st.phase = kNoSpan;
       }
       break;
-    case recovery::PhaseId::kGatherStarted: {
+    case trace::PhaseId::kGatherStarted: {
       // A silent stand-down can leave the previous round's span open; the
       // new round's start is the latest moment it can have ended.
       end_span(now, st.incvec, /*aborted=*/true);
@@ -190,24 +190,24 @@ void SpanTracer::on_phase(Time now, const recovery::PhaseEventInfo& info) {
       st.incvec = begin_span(now, SpanName::kIncVector, node, st.gather, info.round);
       break;
     }
-    case recovery::PhaseId::kIncVectorBuilt:
+    case trace::PhaseId::kIncVectorBuilt:
       end_span(now, st.incvec);
       st.incvec = kNoSpan;
       break;
-    case recovery::PhaseId::kDepinfoCollected:
+    case trace::PhaseId::kDepinfoCollected:
       end_span(now, st.incvec, /*aborted=*/true);
       st.incvec = kNoSpan;
       end_span(now, st.gather);
       st.gather = kNoSpan;
       break;
-    case recovery::PhaseId::kGatherRestarted:
+    case trace::PhaseId::kGatherRestarted:
       end_span(now, st.incvec, /*aborted=*/true);
       st.incvec = kNoSpan;
       end_span(now, st.gather, /*aborted=*/true);
       st.gather = kNoSpan;
       st.regather_next = true;
       break;
-    case recovery::PhaseId::kReplayStarted:
+    case trace::PhaseId::kReplayStarted:
       // Followers learn leadership implicitly from the install.
       if (st.phase != kNoSpan && span(st.phase).name == SpanName::kElection) {
         end_span(now, st.phase);
@@ -217,9 +217,9 @@ void SpanTracer::on_phase(Time now, const recovery::PhaseEventInfo& info) {
         st.phase = begin_span(now, SpanName::kReplay, node, st.recovery, info.round);
       }
       break;
-    case recovery::PhaseId::kOrdAssigned:
-    case recovery::PhaseId::kOrdRetired:
-    case recovery::PhaseId::kSubtreeReparented:
+    case trace::PhaseId::kOrdAssigned:
+    case trace::PhaseId::kOrdRetired:
+    case trace::PhaseId::kSubtreeReparented:
       // Registry instants, not intervals; V8 consumes them from the trace.
       break;
   }

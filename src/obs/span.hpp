@@ -37,7 +37,7 @@
 #include "common/time.hpp"
 #include "common/types.hpp"
 #include "metrics/registry.hpp"
-#include "recovery/phase_hook.hpp"  // header-only: PhaseId / PhaseEventInfo
+#include "trace/phase_hook.hpp"  // header-only: PhaseId / PhaseEventInfo
 
 namespace rr::obs {
 
@@ -126,7 +126,7 @@ class SpanTracer {
 
   // --- protocol phases (cluster phase-hook chain) ------------------------
 
-  void on_phase(Time now, const recovery::PhaseEventInfo& info);
+  void on_phase(Time now, const trace::PhaseEventInfo& info);
 
   // --- infrastructure (both endpoints known at issue time) ---------------
 

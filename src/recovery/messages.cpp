@@ -67,7 +67,7 @@ void encode_contribs(BufWriter& w, const std::vector<DepContribution>& contribs)
     w.u32(c.inc);
     w.varint(c.incv_version);
     w.boolean(c.incv_resync);
-    fbl::encode(w, c.marks);
+    fbl::encode_watermarks(w, c.marks);
   }
 }
 
@@ -124,7 +124,7 @@ struct Encoder {
     w.process_id(m.leader);
     w.u32(m.leader_inc);
     w.varint(m.arity);
-    fbl::encode(w, m.delta);
+    fbl::encode_inc_delta(w, m.delta);
     w.varint(m.recovering.size());
     for (const ProcessId p : m.recovering) w.process_id(p);
   }
@@ -137,18 +137,18 @@ struct Encoder {
   void operator()(const DepInstall& m) {
     tag(CtrlKind::kDepInstall);
     w.u64(m.round);
-    fbl::encode(w, m.incvector);
+    fbl::encode_inc_vector(w, m.incvector);
     encode_dets(w, m.dets);
     w.varint(m.live_marks.size());
     for (const auto& [pid, marks] : m.live_marks) {
       w.process_id(pid);
-      fbl::encode(w, marks);
+      fbl::encode_watermarks(w, marks);
     }
   }
   void operator()(const RecoveryComplete& m) {
     tag(CtrlKind::kRecoveryComplete);
     w.u32(m.inc);
-    fbl::encode(w, m.recv_marks);
+    fbl::encode_watermarks(w, m.recv_marks);
     w.u64(m.rsn);
   }
   void operator()(const DetPush& m) {

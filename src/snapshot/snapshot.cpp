@@ -13,21 +13,38 @@ namespace {
 
 enum class SnapKind : std::uint8_t { kMarker = 1, kReport = 2 };
 
-constexpr std::uint8_t kSnapshotFrame = 5;  // fbl::FrameKind::kSnapshot
+struct MarkerMsg {
+  std::uint64_t id{0};
+  ProcessId initiator;
+};
+
+struct ReportMsg {
+  std::uint64_t id{0};
+  LocalCut cut;
+  std::map<ProcessId, std::uint64_t> channels;
+};
 
 Bytes encode_marker(std::uint64_t id, ProcessId initiator) {
   BufWriter w(32);
-  w.u8(kSnapshotFrame);
+  fbl::encode_kind(w, fbl::FrameKind::kSnapshot);
   w.u8(static_cast<std::uint8_t>(SnapKind::kMarker));
   w.u64(id);
   w.process_id(initiator);
   return std::move(w).take();
 }
 
+// Body after the frame-kind and SnapKind bytes.
+MarkerMsg decode_marker(BufReader& r) {
+  MarkerMsg m;
+  m.id = r.u64();
+  m.initiator = r.process_id();
+  return m;
+}
+
 Bytes encode_report(std::uint64_t id, const LocalCut& cut,
                     const std::map<ProcessId, std::uint64_t>& channels) {
   BufWriter w(128);
-  w.u8(kSnapshotFrame);
+  fbl::encode_kind(w, fbl::FrameKind::kSnapshot);
   w.u8(static_cast<std::uint8_t>(SnapKind::kReport));
   w.u64(id);
   cut.encode(w);
@@ -39,13 +56,26 @@ Bytes encode_report(std::uint64_t id, const LocalCut& cut,
   return std::move(w).take();
 }
 
+// Body after the frame-kind and SnapKind bytes.
+ReportMsg decode_report(BufReader& r) {
+  ReportMsg m;
+  m.id = r.u64();
+  m.cut = LocalCut::decode(r);
+  const auto n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ProcessId from = r.process_id();
+    m.channels[from] = r.u64();
+  }
+  return m;
+}
+
 }  // namespace
 
 void LocalCut::encode(BufWriter& w) const {
   w.u64(app_hash);
   w.u64(rsn);
-  fbl::encode(w, send_seq);
-  fbl::encode(w, recv_marks);
+  fbl::encode_watermarks(w, send_seq);
+  fbl::encode_watermarks(w, recv_marks);
 }
 
 LocalCut LocalCut::decode(BufReader& r) {
@@ -136,20 +166,19 @@ void SnapshotManager::record_cut_and_emit_markers(std::uint64_t id) {
 void SnapshotManager::on_frame(ProcessId src, BufReader& r) {
   const auto kind = static_cast<SnapKind>(r.u8());
   if (kind == SnapKind::kMarker) {
-    const std::uint64_t id = r.u64();
-    const ProcessId initiator = r.process_id();
+    const MarkerMsg m = decode_marker(r);
     // Ids must be system-wide unique and increasing: a higher id supersedes
     // a recording that stalled because a participant crashed (best-effort
     // semantics — the stalled snapshot is abandoned everywhere it touched).
-    if (recording_ && id > current_id_) {
+    if (recording_ && m.id > current_id_) {
       metrics_.counter("snapshot.aborted").add();
       recording_ = false;
     }
     if (!recording_) {
-      initiator_ = initiator;
-      record_cut_and_emit_markers(id);
+      initiator_ = m.initiator;
+      record_cut_and_emit_markers(m.id);
     }
-    if (id != current_id_) {
+    if (m.id != current_id_) {
       metrics_.counter("snapshot.stale_markers").add();
       return;
     }
@@ -157,20 +186,13 @@ void SnapshotManager::on_frame(ProcessId src, BufReader& r) {
     awaiting_marker_.erase(src);
     maybe_finish_recording();
   } else if (kind == SnapKind::kReport) {
-    const std::uint64_t id = r.u64();
-    LocalCut cut = LocalCut::decode(r);
-    std::map<ProcessId, std::uint64_t> channels;
-    const auto n = r.varint();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const ProcessId from = r.process_id();
-      channels[from] = r.u64();
-    }
-    if (!assembling_ || id != assembly_.id) {
+    ReportMsg m = decode_report(r);
+    if (!assembling_ || m.id != assembly_.id) {
       metrics_.counter("snapshot.stale_reports").add();
       return;
     }
-    assembly_.cuts[src] = std::move(cut);
-    for (const auto& [from, count] : channels) assembly_.channels[{from, src}] = count;
+    assembly_.cuts[src] = std::move(m.cut);
+    for (const auto& [from, count] : m.channels) assembly_.channels[{from, src}] = count;
     awaiting_report_.erase(src);
     maybe_complete_assembly();
   } else {

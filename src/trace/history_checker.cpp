@@ -261,16 +261,16 @@ struct Checker {
     for (const auto& ev : log.events()) {
       if (const auto* p = std::get_if<PhaseEvent>(&ev.event)) {
         switch (p->phase) {
-          case recovery::PhaseId::kOrdAssigned:
+          case PhaseId::kOrdAssigned:
             reg[p->subject] = Reg{p->ord, false, false};
             break;
-          case recovery::PhaseId::kOrdRetired: {
+          case PhaseId::kOrdRetired: {
             const auto it = reg.find(p->subject);
             if (it != reg.end() && it->second.ord == p->ord) it->second.retired = true;
             break;
           }
-          case recovery::PhaseId::kLeaderElected:
-          case recovery::PhaseId::kLeaderFailover: {
+          case PhaseId::kLeaderElected:
+          case PhaseId::kLeaderFailover: {
             const auto self = reg.find(p->pid);
             if (self == reg.end() || self->second.retired || self->second.ord != p->ord) {
               violate("V8: leader without a live ordinal registration: " + to_string(ev));

@@ -40,7 +40,7 @@ struct Formatter {
   }
   void operator()(const PhaseEvent& e) const {
     std::snprintf(buf, n, "phase    %s %s round=%llu ord=%llu subject=%s",
-                  rr::to_string(e.pid).c_str(), recovery::to_string(e.phase),
+                  rr::to_string(e.pid).c_str(), to_string(e.phase),
                   static_cast<unsigned long long>(e.round),
                   static_cast<unsigned long long>(e.ord), rr::to_string(e.subject).c_str());
   }

@@ -19,7 +19,7 @@
 
 #include "common/time.hpp"
 #include "common/types.hpp"
-#include "recovery/phase_hook.hpp"
+#include "trace/phase_hook.hpp"
 
 namespace rr::trace {
 
@@ -70,9 +70,9 @@ struct CheckpointEvent {
 /// the ord service (see recovery/phase_hook.hpp). Input to V8.
 struct PhaseEvent {
   ProcessId pid;  ///< firing process (ord service for assignment events)
-  recovery::PhaseId phase{recovery::PhaseId::kLeaderElected};
+  PhaseId phase{PhaseId::kLeaderElected};
   std::uint64_t round{0};
-  recovery::Ord ord{0};
+  Ord ord{0};
   ProcessId subject;  ///< who the event is about (== pid unless ord svc)
 };
 

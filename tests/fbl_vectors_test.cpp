@@ -52,7 +52,7 @@ TEST(IncVectorTest, SerdeRoundTrip) {
   raise_incarnation(v, ProcessId{0}, 2);
   raise_incarnation(v, ProcessId{7}, 9);
   BufWriter w;
-  encode(w, v);
+  encode_inc_vector(w, v);
   BufReader r(w.view());
   EXPECT_EQ(decode_inc_vector(r), v);
   r.expect_done();
@@ -66,7 +66,7 @@ TEST(IncDeltaTest, FullSnapshotRoundTrip) {
   raise_incarnation(d.entries, ProcessId{0}, 2);
   raise_incarnation(d.entries, ProcessId{3}, 7);
   BufWriter w;
-  encode(w, d);
+  encode_inc_delta(w, d);
   BufReader r(w.view());
   EXPECT_EQ(decode_inc_delta(r), d);
   r.expect_done();
@@ -79,7 +79,7 @@ TEST(IncDeltaTest, SparseDeltaRoundTrip) {
   d.full = false;
   raise_incarnation(d.entries, ProcessId{1023}, 5);
   BufWriter w;
-  encode(w, d);
+  encode_inc_delta(w, d);
   BufReader r(w.view());
   const IncDelta back = decode_inc_delta(r);
   EXPECT_EQ(back, d);
@@ -93,7 +93,7 @@ TEST(IncDeltaTest, EmptyDeltaRoundTrip) {
   // wire as exactly that.
   IncDelta d;
   BufWriter w;
-  encode(w, d);
+  encode_inc_delta(w, d);
   BufReader r(w.view());
   const IncDelta back = decode_inc_delta(r);
   EXPECT_TRUE(back.full);
@@ -139,14 +139,14 @@ TEST(WatermarksTest, SerdeRoundTrip) {
   m[ProcessId{0}] = 42;
   m[ProcessId{9}] = 1;
   BufWriter w;
-  encode(w, m);
+  encode_watermarks(w, m);
   BufReader r(w.view());
   EXPECT_EQ(decode_watermarks(r), m);
 }
 
 TEST(WatermarksTest, EmptySerde) {
   BufWriter w;
-  encode(w, Watermarks{});
+  encode_watermarks(w, Watermarks{});
   BufReader r(w.view());
   EXPECT_TRUE(decode_watermarks(r).empty());
   r.expect_done();

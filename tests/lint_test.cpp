@@ -1,0 +1,333 @@
+// rrlint rule coverage: one positive (fires) and one negative (stays quiet)
+// fixture per rule id, suppression semantics, and a self-check that the
+// analyzer parses and passes the real tree it polices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+#ifndef RR_SOURCE_ROOT
+#error "lint_test needs RR_SOURCE_ROOT pointing at the repo checkout"
+#endif
+
+namespace rr::lint {
+namespace {
+
+using Fixture = std::pair<std::string, std::string>;
+
+std::vector<Diagnostic> lint_files(std::vector<Fixture> files) {
+  Linter l;
+  for (auto& [path, content] : files) l.add_file(path, std::move(content));
+  return l.run();
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& ds, RuleId id) {
+  return static_cast<std::size_t>(
+      std::count_if(ds.begin(), ds.end(), [&](const Diagnostic& d) { return d.rule == id; }));
+}
+
+// ---------------------------------------------------------------- D rules
+
+TEST(LintD1, FlagsBannedPrimitive) {
+  const auto ds = lint_files({{"src/sim/fix.cpp",
+                               "#include <random>\n"
+                               "int roll() { std::mt19937 gen(7); return (int)gen(); }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD1BannedCall), 1u);
+}
+
+TEST(LintD1, FlagsCallFormOnlyWhenCalled) {
+  const auto pos = lint_files(
+      {{"src/sim/fix.cpp", "#include <ctime>\nlong now() { return std::time(nullptr); }\n"}});
+  EXPECT_EQ(count_rule(pos, RuleId::kD1BannedCall), 1u);
+  // `time` as a plain variable name is not a call of the banned primitive.
+  const auto neg = lint_files({{"src/sim/fix.cpp", "long f(long time) { return time + 1; }\n"}});
+  EXPECT_EQ(count_rule(neg, RuleId::kD1BannedCall), 0u);
+}
+
+TEST(LintD1, RngWhitelistIsExempt) {
+  const auto ds = lint_files({{"src/common/rng.hpp",
+                               "#include <random>\n"
+                               "struct Rng { std::mt19937_64 engine; };\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD1BannedCall), 0u);
+}
+
+TEST(LintD2, FlagsUnorderedIterationInSimVisibleModule) {
+  const auto ds = lint_files({{"src/net/fix.hpp",
+                               "#include <unordered_map>\n"
+                               "struct S {\n"
+                               "  std::unordered_map<int, int> m_;\n"
+                               "  int sum() { int t = 0; for (auto& kv : m_) t += kv.second;"
+                               " return t; }\n"
+                               "};\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD2UnorderedIteration), 1u);
+}
+
+TEST(LintD2, OrderedMapAndHarnessModulesAreQuiet) {
+  // std::map iterates deterministically: no diagnostic.
+  const auto ordered = lint_files({{"src/net/fix.hpp",
+                                    "#include <map>\n"
+                                    "struct S {\n"
+                                    "  std::map<int, int> m_;\n"
+                                    "  int sum() { int t = 0; for (auto& kv : m_)"
+                                    " t += kv.second; return t; }\n"
+                                    "};\n"}});
+  EXPECT_EQ(count_rule(ordered, RuleId::kD2UnorderedIteration), 0u);
+  // check/ reconciles results deterministically itself; out of D2 scope.
+  const auto harness = lint_files({{"src/check/fix.hpp",
+                                    "#include <unordered_map>\n"
+                                    "struct S {\n"
+                                    "  std::unordered_map<int, int> m_;\n"
+                                    "  int sum() { int t = 0; for (auto& kv : m_)"
+                                    " t += kv.second; return t; }\n"
+                                    "};\n"}});
+  EXPECT_EQ(count_rule(harness, RuleId::kD2UnorderedIteration), 0u);
+}
+
+TEST(LintD3, FlagsPointerKeyedContainer) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.hpp", "#include <map>\nstruct W;\nstd::map<W*, int> g_by_ptr;\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD3PointerKeyedContainer), 1u);
+}
+
+TEST(LintD3, PointerValuesAreFine) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.hpp", "#include <map>\nstruct W;\nconst std::map<int, W*> g_by_id;\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD3PointerKeyedContainer), 0u);
+}
+
+TEST(LintD4, FlagsAddressAsValue) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <cstdint>\n"
+                               "std::uintptr_t tag(void* p) { return (std::uintptr_t)p; }\n"}});
+  EXPECT_GE(count_rule(ds, RuleId::kD4AddressAsValue), 1u);
+}
+
+TEST(LintD4, PlainIntegersAreFine) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.cpp", "#include <cstdint>\nstd::uint64_t twice(std::uint64_t x)"
+                           " { return 2 * x; }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kD4AddressAsValue), 0u);
+}
+
+// ---------------------------------------------------------------- G rules
+
+TEST(LintG1, FlagsNamespaceScopeMutable) {
+  const auto ds =
+      lint_files({{"src/fbl/fix.cpp", "namespace rr {\nint g_counter = 0;\n}  // namespace rr\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kG1GlobalMutable), 1u);
+}
+
+TEST(LintG1, ConstAtomicThreadLocalAreExempt) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <atomic>\n"
+                               "namespace rr {\n"
+                               "constexpr int kMax = 4;\n"
+                               "const char* const kName = \"rr\";\n"
+                               "std::atomic<int> g_level{0};\n"
+                               "thread_local int g_depth = 0;\n"
+                               "}  // namespace rr\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kG1GlobalMutable), 0u);
+}
+
+TEST(LintG2, FlagsFunctionLocalStaticMutable) {
+  const auto ds =
+      lint_files({{"src/fbl/fix.cpp", "int next() {\n  static int n = 0;\n  return ++n;\n}\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kG2LocalStaticMutable), 1u);
+}
+
+TEST(LintG2, LocalStaticConstIsExempt) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.cpp", "int pick() {\n  static const int k = 3;\n  return k;\n}\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kG2LocalStaticMutable), 0u);
+}
+
+// ---------------------------------------------------------------- S rules
+
+TEST(LintS1, FlagsUnpairedCodec) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.hpp", "struct BufWriter;\ninline void encode_foo(BufWriter& w) {}\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS1UnpairedCodec), 1u);
+}
+
+TEST(LintS1, PairedCodecIsQuiet) {
+  const auto ds = lint_files({{"src/fbl/fix.hpp",
+                               "struct BufWriter;\nstruct BufReader;\n"
+                               "inline void encode_foo(BufWriter& w) {}\n"
+                               "inline int decode_foo(BufReader& r) { return 0; }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS1UnpairedCodec), 0u);
+}
+
+TEST(LintS2, FlagsRawMemoryInCodecBody) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <cstring>\n"
+                               "struct BufWriter;\nstruct BufReader;\n"
+                               "void encode_foo(BufWriter& w, const int& x) {\n"
+                               "  char buf[4];\n"
+                               "  std::memcpy(buf, &x, 4);\n"
+                               "}\n"
+                               "int decode_foo(BufReader& r) { return 0; }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS2RawMemoryInCodec), 1u);
+}
+
+TEST(LintS2, RawMemoryOutsideCodecsIsQuiet) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <cstring>\n"
+                               "void blank(char* dst) { std::memset(dst, 0, 8); }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS2RawMemoryInCodec), 0u);
+}
+
+TEST(LintS3, FlagsDecodeWithoutBufReader) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "struct BufWriter;\n"
+                               "void encode_foo(BufWriter& w) {}\n"
+                               "int decode_foo(const char* raw) { return raw[0]; }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS3UnguardedDecode), 1u);
+}
+
+TEST(LintS3, BufReaderDecodeIsQuiet) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "struct BufWriter;\nstruct BufReader;\n"
+                               "void encode_foo(BufWriter& w) {}\n"
+                               "int decode_foo(BufReader& r) { return 0; }\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kS3UnguardedDecode), 0u);
+}
+
+// ---------------------------------------------------------------- L rules
+
+TEST(LintL1, FlagsUpwardInclude) {
+  // common (rank 0) reaching up into sim (rank 1).
+  const auto ds =
+      lint_files({{"src/common/fix.hpp", "#include \"sim/simulator.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL1UpwardInclude), 1u);
+}
+
+TEST(LintL1, DownwardIncludeIsQuiet) {
+  const auto ds = lint_files({{"src/sim/fix.hpp", "#include \"common/types.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL1UpwardInclude), 0u);
+}
+
+TEST(LintL2, FlagsIncludeCycle) {
+  const auto ds = lint_files({{"src/fbl/a.hpp", "#include \"fbl/b.hpp\"\nstruct A {};\n"},
+                              {"src/fbl/b.hpp", "#include \"fbl/a.hpp\"\nstruct B {};\n"}});
+  EXPECT_GE(count_rule(ds, RuleId::kL2IncludeCycle), 1u);
+}
+
+TEST(LintL2, AcyclicIncludesAreQuiet) {
+  const auto ds = lint_files({{"src/fbl/a.hpp", "#include \"fbl/b.hpp\"\nstruct A {};\n"},
+                              {"src/fbl/b.hpp", "struct B {};\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL2IncludeCycle), 0u);
+}
+
+TEST(LintL3, FlagsUnknownModule) {
+  const auto ds = lint_files({{"src/fbl/fix.hpp", "#include \"plasma/widget.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL3UnknownModule), 1u);
+}
+
+TEST(LintL3, KnownModulesAreQuiet) {
+  const auto ds = lint_files({{"src/fbl/fix.hpp", "#include \"common/types.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL3UnknownModule), 0u);
+}
+
+// ------------------------------------------------------------- suppressions
+
+TEST(LintA1, FlagsUnjustifiedSuppression) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <cstdint>\n"
+                               "// rrlint: allow(D4)\n"
+                               "std::uintptr_t g_tag = 0;\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kA1BadSuppression), 1u);
+  // The unjustified allow silences nothing.
+  EXPECT_GE(count_rule(ds, RuleId::kD4AddressAsValue), 1u);
+}
+
+TEST(LintA1, FlagsUnknownRuleName) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.cpp", "// rrlint: allow(Z9): there is no rule Z9\nint f();\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kA1BadSuppression), 1u);
+}
+
+TEST(LintA1, JustifiedSuppressionIsQuiet) {
+  const auto ds = lint_files(
+      {{"src/fbl/fix.cpp", "int f();  // rrlint: allow(D4): nothing here anyway\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kA1BadSuppression), 0u);
+}
+
+TEST(LintSuppression, JustifiedAllowSilencesOwnAndNextLine) {
+  Linter inline_form;
+  inline_form.add_file("src/fbl/fix.cpp",
+                       "#include <cstdint>\n"
+                       "std::uintptr_t g_a = 0;  // rrlint: allow(D4,G1): interop tag for mmap\n");
+  EXPECT_EQ(count_rule(inline_form.run(), RuleId::kD4AddressAsValue), 0u);
+  EXPECT_GE(inline_form.stats().suppressed, 1u);
+
+  Linter own_line;
+  own_line.add_file("src/fbl/fix.cpp",
+                    "#include <cstdint>\n"
+                    "// rrlint: allow(D4,G1): interop tag for mmap\n"
+                    "std::uintptr_t g_b = 0;\n");
+  EXPECT_EQ(count_rule(own_line.run(), RuleId::kD4AddressAsValue), 0u);
+  EXPECT_GE(own_line.stats().suppressed, 1u);
+}
+
+TEST(LintSuppression, AllowDoesNotReachPastNextLine) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "#include <cstdint>\n"
+                               "// rrlint: allow(D4): too far away\n"
+                               "int unrelated;\n"
+                               "std::uintptr_t g_c = 0;\n"}});
+  EXPECT_GE(count_rule(ds, RuleId::kD4AddressAsValue), 1u);
+}
+
+TEST(LintSuppression, A1IsNeverSuppressible) {
+  const auto ds = lint_files({{"src/fbl/fix.cpp",
+                               "// rrlint: allow(A1): trying to hide the next line\n"
+                               "// rrlint: allow(D4)\n"
+                               "int f();\n"}});
+  EXPECT_GE(count_rule(ds, RuleId::kA1BadSuppression), 1u);
+}
+
+// ------------------------------------------------------------- rule table
+
+TEST(LintRules, TableAndParserRoundTrip) {
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    const auto id = static_cast<RuleId>(i);
+    const RuleInfo& info = rule_info(id);
+    ASSERT_NE(info.id, nullptr);
+    RuleId parsed{};
+    EXPECT_TRUE(parse_rule_id(info.id, parsed)) << info.id;
+    EXPECT_EQ(parsed, id) << info.id;
+  }
+  RuleId out{};
+  EXPECT_FALSE(parse_rule_id("Z9", out));
+}
+
+// ------------------------------------------------------------- self-check
+
+TEST(LintSelfCheck, RealTreeScansWithoutTokenizerErrors) {
+  Linter l;
+  ASSERT_TRUE(l.add_tree(RR_SOURCE_ROOT, {"src", "tools"}))
+      << (l.io_errors().empty() ? "?" : l.io_errors().front());
+  const auto ds = l.run();
+  for (const FileScan& f : l.files()) {
+    EXPECT_TRUE(f.errors.empty()) << f.path << ": " << f.errors.front();
+  }
+  for (const Diagnostic& d : ds) ADD_FAILURE() << format_diagnostic(d);
+  EXPECT_GT(l.stats().files, 50u);  // the walk really found the tree
+}
+
+TEST(LintSelfCheck, GraphDotListsModules) {
+  Linter l;
+  ASSERT_TRUE(l.add_tree(RR_SOURCE_ROOT, {"src"}));
+  (void)l.run();
+  const std::string dot = l.graph_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("common"), std::string::npos);
+  EXPECT_NE(dot.find("recovery"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::lint

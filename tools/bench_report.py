@@ -27,6 +27,12 @@ with the BENCHJSON streams compared for byte-identity like the other
 F-benches. The bench itself exits nonzero if a lossy cell blocks a live
 process, so the report doubles as the graceful-degradation gate.
 
+BENCH_lint.json scrapes rrlint's "LINTJSON {...}" marker line (the same
+marker-line convention as the T/F benches): files and lines analyzed, rule
+count, unsuppressed diagnostics (0 on a green tree — rrlint_clean gates it)
+and justified suppressions, with the per-rule breakdown. Tracks the
+determinism contract's footprint across PRs next to the perf numbers.
+
 BENCH_scale.json scrapes the T6 scale sweep (bench_t6_scale_sweep):
 recovery latency, control-message bytes/count and live intrusion per
 (n x algorithm x prune) cell up to n = 1024, with the serial/parallel
@@ -43,8 +49,9 @@ Usage:
                         [--scale-out BENCH_scale.json]
                         [--jobs N] [--explore-runs N]
                         [--filter REGEX] [--baseline-from FILE]
+                        [--lint-out BENCH_lint.json]
                         [--skip-kernel] [--skip-recovery] [--skip-explore]
-                        [--skip-network] [--skip-scale]
+                        [--skip-network] [--skip-scale] [--skip-lint]
 """
 
 import argparse
@@ -131,6 +138,43 @@ def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)
     return 0
+
+
+def write_lint_report(
+    build: pathlib.Path, repo_root: pathlib.Path, out_path: pathlib.Path
+) -> int:
+    binary = build / "tools" / "rrlint"
+    if not binary.exists():
+        print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
+        return 1
+    print("running rrlint --check --stats ...", file=sys.stderr)
+    out = subprocess.run(
+        [str(binary), "--check", "src", "tools", "--root", str(repo_root), "--stats"],
+        capture_output=True,
+        text=True,
+    )
+    stats = None
+    for line in out.stdout.splitlines():
+        if line.startswith("LINTJSON "):
+            stats = json.loads(line[len("LINTJSON "):])
+    if stats is None:
+        print("error: rrlint printed no LINTJSON marker line", file=sys.stderr)
+        print(out.stdout, file=sys.stderr)
+        return 1
+    report = {
+        "schema": 1,
+        "tool": "rrlint",
+        "clean": out.returncode == 0,
+        **stats,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out_path} ({stats['files']} files, "
+        f"{stats['diagnostics']} unsuppressed, {stats['suppressed']} suppressed)",
+        file=sys.stderr,
+    )
+    # A dirty tree is a failed report: rrlint_clean gates the same condition.
+    return 0 if out.returncode == 0 else 1
 
 
 def write_network_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int) -> int:
@@ -295,6 +339,7 @@ def main() -> int:
     ap.add_argument("--explore-out", default=str(repo_root / "BENCH_explore.json"))
     ap.add_argument("--network-out", default=str(repo_root / "BENCH_network.json"))
     ap.add_argument("--scale-out", default=str(repo_root / "BENCH_scale.json"))
+    ap.add_argument("--lint-out", default=str(repo_root / "BENCH_lint.json"))
     ap.add_argument(
         "--jobs",
         type=int,
@@ -313,6 +358,7 @@ def main() -> int:
     ap.add_argument("--skip-explore", action="store_true")
     ap.add_argument("--skip-network", action="store_true")
     ap.add_argument("--skip-scale", action="store_true")
+    ap.add_argument("--skip-lint", action="store_true")
     ap.add_argument(
         "--baseline-from",
         default=None,
@@ -339,6 +385,10 @@ def main() -> int:
             return rc
     if not args.skip_scale:
         rc = write_scale_report(build, pathlib.Path(args.scale_out), args.jobs)
+        if rc != 0:
+            return rc
+    if not args.skip_lint:
+        rc = write_lint_report(build, repo_root, pathlib.Path(args.lint_out))
         if rc != 0:
             return rc
     if args.skip_kernel:

@@ -1,0 +1,130 @@
+// rrlint — the repo's determinism & protocol-safety static analyzer.
+//
+// Enforces the contract in DESIGN.md §10 over src/ and tools/: no ambient
+// randomness/time/environment outside common/rng and the simulator (D rules),
+// no process-wide mutable state (G rules), paired bounds-guarded codecs
+// (S rules), and a downward-only module include DAG (L rules). Runs in
+// tier-1 ctest as `rrlint_clean`, so every PR is gated on a clean report.
+//
+// Usage:
+//   rrlint --check <dir>... [--root DIR]   lint dirs (repo-relative); exit 1 on findings
+//   rrlint --graph-out FILE               also write the module DAG as DOT
+//   rrlint --list-rules                   print the rule table
+//   rrlint --stats                        print a LINTJSON summary line
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void print_rules() {
+  std::printf("%-4s %-55s %s\n", "id", "rule", "why");
+  for (std::size_t i = 0; i < rr::lint::kRuleCount; ++i) {
+    const rr::lint::RuleInfo& info =
+        rr::lint::rule_info(static_cast<rr::lint::RuleId>(i));
+    std::printf("%-4s %-55s %s\n", info.id, info.title, info.why);
+  }
+  std::printf(
+      "\nsuppress with:  // rrlint: allow(<RULE>): <justification>\n"
+      "(same line or the line directly above; the justification is mandatory)\n");
+}
+
+void print_stats(const rr::lint::Stats& s) {
+  std::string per_rule;
+  for (const auto& [id, count] : s.per_rule) {
+    if (!per_rule.empty()) per_rule += ",";
+    per_rule += "\"" + id + "\":" + std::to_string(count);
+  }
+  std::printf(
+      "LINTJSON {\"files\":%zu,\"lines\":%zu,\"rules\":%zu,"
+      "\"diagnostics\":%zu,\"suppressed\":%zu,\"per_rule\":{%s}}\n",
+      s.files, s.lines, s.rules, s.diagnostics, s.suppressed, per_rule.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string graph_out;
+  std::vector<std::string> dirs;
+  bool check = false, stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--graph-out" && i + 1 < argc) {
+      graph_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rrlint --check <dir>... [--root DIR] [--graph-out FILE] "
+          "[--stats] | --list-rules\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rrlint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!check && !stats && graph_out.empty()) {
+    std::fprintf(stderr, "rrlint: nothing to do (try --check src tools)\n");
+    return 2;
+  }
+  if (dirs.empty()) dirs = {"src", "tools"};
+
+  rr::lint::Linter linter;
+  if (!linter.add_tree(root, dirs)) {
+    for (const std::string& e : linter.io_errors()) {
+      std::fprintf(stderr, "rrlint: %s\n", e.c_str());
+    }
+    return 2;
+  }
+
+  bool scan_errors = false;
+  const std::vector<rr::lint::Diagnostic> diags = linter.run();
+  for (const rr::lint::FileScan& f : linter.files()) {
+    for (const std::string& e : f.errors) {
+      std::fprintf(stderr, "rrlint: %s: tokenizer: %s\n", f.path.c_str(), e.c_str());
+      scan_errors = true;
+    }
+  }
+
+  if (!graph_out.empty()) {
+    std::ofstream out(graph_out);
+    if (!out) {
+      std::fprintf(stderr, "rrlint: cannot write %s\n", graph_out.c_str());
+      return 2;
+    }
+    out << linter.graph_dot();
+  }
+
+  for (const rr::lint::Diagnostic& d : diags) {
+    std::printf("%s\n", rr::lint::format_diagnostic(d).c_str());
+  }
+  if (stats) print_stats(linter.stats());
+  if (scan_errors) return 2;
+  if (check && !diags.empty()) {
+    std::printf("rrlint: %zu unsuppressed diagnostic%s (%zu suppressed) in %zu files\n",
+                diags.size(), diags.size() == 1 ? "" : "s",
+                linter.stats().suppressed, linter.stats().files);
+    return 1;
+  }
+  if (check) {
+    std::printf("rrlint: clean — %zu files, %zu rules, %zu suppression%s justified\n",
+                linter.stats().files, linter.stats().rules, linter.stats().suppressed,
+                linter.stats().suppressed == 1 ? "" : "s");
+  }
+  return 0;
+}

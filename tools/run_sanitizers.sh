@@ -1,0 +1,37 @@
+#!/bin/sh
+# Drive the asan / ubsan / tsan CMake presets over the concurrency + lint
+# test slice. Each preset configures and builds its own tree (build-asan/,
+# build-ubsan/, build-tsan/) and then runs the slice under ctest:
+#
+#   asan / ubsan  — the lint suite plus the tier-1 lint gates and the
+#                   explorer/transport concurrency tests, with memory and
+#                   UB checking over the analyzer's tokenizer and the
+#                   codec paths it polices.
+#   tsan          — the preset's own filter (work-stealing pool, parallel
+#                   explorer, reliable transport, rrcheck CLI); data-race
+#                   coverage for everything rrlint's G rules reason about.
+#
+# Usage: tools/run_sanitizers.sh [asan|ubsan|tsan ...]   (default: all three)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+presets="${*:-asan ubsan tsan}"
+slice='LintD1|LintD2|LintD3|LintD4|LintG1|LintG2|LintS1|LintS2|LintS3|LintL1|LintL2|LintL3|LintA1|LintSuppression|LintRules|LintSelfCheck|rrlint_clean|WorkStealTest|ParallelExplorerTest|ReliableTransportTest|rrcheck_smoke'
+
+for preset in $presets; do
+  echo "== $preset: configure + build =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "== $preset: ctest =="
+  case "$preset" in
+    tsan)
+      # The tsan test preset carries its own include filter.
+      ctest --preset "$preset"
+      ;;
+    *)
+      ctest --preset "$preset" -R "$slice"
+      ;;
+  esac
+done
+echo "run_sanitizers: all presets passed ($presets)"
