@@ -1,0 +1,175 @@
+// Experiment F9 (extension) — cost and intrusion over time.
+//
+// The paper reports live-process blocking as one scalar per run ("each
+// live process blocked for about 50 ms"). The cost ledger's deterministic
+// sampler turns that scalar into a curve: wire bytes and cumulative
+// blocked time sampled on a fixed sim-time cadence, per algorithm, across
+// a crash. This bench sweeps algorithm x cluster size with a single crash,
+// checks the timeline against its own scalars (the final sample's
+// cumulative blocked time must integrate to the registry's blocked total,
+// and the V10 audit must hold), and emits the decimated curves as
+// "BENCHJSON" marker lines that tools/bench_report.py folds into
+// BENCH_obs.json.
+//
+// The sweep-wide phase-latency table at the end exercises
+// harness::merge_histograms: per-run span histograms are folded in input
+// order into one distribution per phase, so its p50/p95/p99 summarize the
+// whole sweep rather than any single run.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "harness/parallel.hpp"
+#include "harness/table.hpp"
+#include "obs/ledger.hpp"
+
+using namespace rr;
+using harness::PaperSetup;
+using harness::ScenarioConfig;
+using harness::Table;
+using recovery::Algorithm;
+
+namespace {
+
+constexpr Duration kSampleEvery = milliseconds(25);
+/// Timeline points kept per BENCHJSON line (the full series stays in
+/// memory; the marker line is decimated to keep stdout reasonable).
+constexpr std::size_t kMaxJsonPoints = 64;
+
+struct TimelinePoint {
+  double t_ms{0};
+  double net_kib{0};
+  double ctrl_kib{0};
+  double blocked_ms{0};  ///< cumulative, summed over live nodes
+};
+
+struct CellResult {
+  const char* alg_name{""};
+  std::uint32_t n{0};
+  harness::ScenarioResult r;
+  std::vector<TimelinePoint> points;  // decimated, always ends at the last sample
+  std::size_t samples{0};
+  double timeline_blocked_ms{0};  ///< final sample's cumulative blocked sum
+  double scalar_blocked_ms{0};    ///< ScenarioResult::total_blocked()
+  std::vector<std::string> audit;  ///< V10 violations (empty = conserved)
+};
+
+void print_bench_json(const CellResult& c) {
+  std::string out = "BENCHJSON {\"bench\":\"f9\",\"algorithm\":\"" +
+                    std::string(c.alg_name) + "\",\"n\":" + std::to_string(c.n);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                ",\"sample_every_ms\":%.3f,\"samples\":%zu,"
+                "\"blocked_timeline_ms\":%.6f,\"blocked_scalar_ms\":%.6f,"
+                "\"timeline\":[",
+                static_cast<double>(kSampleEvery) / 1e6, c.samples,
+                c.timeline_blocked_ms, c.scalar_blocked_ms);
+  out += buf;
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const TimelinePoint& p = c.points[i];
+    std::snprintf(buf, sizeof buf, "%s[%.3f,%.3f,%.3f,%.6f]", i == 0 ? "" : ",",
+                  p.t_ms, p.net_kib, p.ctrl_kib, p.blocked_ms);
+    out += buf;
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F9: communication cost and live-process intrusion over time\n");
+  std::printf("  sampler: every %s of sim time, final sample at run end\n\n",
+              format_duration(kSampleEvery).c_str());
+  bool all_ok = true;
+
+  std::vector<CellResult> cells;
+  for (const std::uint32_t n : {8u, 32u}) {
+    for (const Algorithm alg : {Algorithm::kBlocking, Algorithm::kNonBlocking}) {
+      ScenarioConfig sc;
+      sc.cluster = PaperSetup::testbed(alg, n);
+      sc.cluster.enable_spans = true;
+      sc.cluster.enable_ledger = true;
+      sc.cluster.ledger_sample_every = kSampleEvery;
+      sc.factory = PaperSetup::workload();
+      sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
+      sc.horizon = PaperSetup::kHorizon;
+
+      CellResult cell;
+      cell.alg_name = recovery::to_string(alg);
+      cell.n = n;
+      cell.r = harness::run_scenario(sc, [&](runtime::Cluster& c) {
+        // Close the series exactly at the instant the scalar metrics were
+        // read, so the last cumulative sample must reproduce them.
+        c.sample_ledger_now();
+        const obs::CostLedger& ledger = *c.ledger();
+        cell.samples = ledger.sample_count();
+        cell.audit = ledger.audit(c.metrics());
+
+        const std::size_t stride =
+            cell.samples <= kMaxJsonPoints ? 1 : (cell.samples + kMaxJsonPoints - 1) / kMaxJsonPoints;
+        for (std::size_t s = 0; s < cell.samples; ++s) {
+          double blocked_ns = 0;
+          for (std::uint32_t i = 0; i < ledger.num_nodes(); ++i) {
+            blocked_ns += static_cast<double>(ledger.sample_node(s, i).blocked_ns);
+          }
+          if (s + 1 == cell.samples) {
+            cell.timeline_blocked_ms = blocked_ns / 1e6;
+          }
+          if (s % stride != 0 && s + 1 != cell.samples) continue;
+          const obs::LedgerSampleHeader& h = ledger.sample_header(s);
+          cell.points.push_back(TimelinePoint{
+              static_cast<double>(h.at) / 1e6, static_cast<double>(h.net_bytes) / 1024.0,
+              static_cast<double>(h.ctrl_bytes) / 1024.0, blocked_ns / 1e6});
+        }
+      });
+      cell.scalar_blocked_ms = static_cast<double>(cell.r.total_blocked()) / 1e6;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  Table table("F9 — intrusion timeline vs scalar blocked time (single crash)",
+              {"n", "algorithm", "samples", "blocked (timeline)", "blocked (scalar)",
+               "net KiB", "ctrl KiB", "V10", "match"});
+  for (const CellResult& c : cells) {
+    // The final cumulative sample must integrate to the scalar within 0.1%
+    // (it is taken at the same sim instant, so in practice it is exact).
+    const double diff = std::abs(c.timeline_blocked_ms - c.scalar_blocked_ms);
+    const bool integral_ok = diff <= 0.001 * c.scalar_blocked_ms + 1e-6;
+    const bool v10_ok = c.audit.empty();
+    all_ok = all_ok && integral_ok && v10_ok && c.r.idle;
+    table.add_row({Table::integer(c.n), c.alg_name, Table::integer(c.samples),
+                   Table::ms(static_cast<Duration>(c.timeline_blocked_ms * 1e6)),
+                   Table::ms(static_cast<Duration>(c.scalar_blocked_ms * 1e6)),
+                   Table::integer(c.r.counter("net.bytes") / 1024),
+                   Table::integer(c.r.ctrl_bytes / 1024), v10_ok ? "ok" : "VIOLATED",
+                   integral_ok ? "yes" : "NO"});
+    for (const std::string& v : c.audit) std::printf("  %s\n", v.c_str());
+  }
+  table.print();
+
+  // Sweep-wide phase latency from merged histograms (canonical input-index
+  // fold; see harness::merge_histograms).
+  std::vector<harness::ScenarioResult> results;
+  results.reserve(cells.size());
+  for (CellResult& c : cells) results.push_back(std::move(c.r));
+  const auto merged = harness::merge_histograms(results);
+  Table phases("F9 — phase latency across the whole sweep (merged histograms)",
+               {"phase", "count", "p50", "p95", "p99"});
+  for (const auto& [name, h] : merged) {
+    phases.add_row({name, Table::integer(h.count()),
+                    Table::ms(static_cast<Duration>(h.quantile(0.50))),
+                    Table::ms(static_cast<Duration>(h.quantile(0.95))),
+                    Table::ms(static_cast<Duration>(h.quantile(0.99)))});
+  }
+  phases.print();
+
+  for (const CellResult& c : cells) print_bench_json(c);
+
+  std::printf("\n%s\n", all_ok ? "F9 PASS: timelines integrate to the scalar metrics "
+                                 "and every run conserves bytes (V10)"
+                               : "F9 FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -10,13 +10,20 @@
 //     + replay, compared term by term with the measured phase timeline —
 //     and the model's communication_share() makes the paper's thesis a
 //     number.
+//  3. CostLedger: the wire-classified per-kind control frame counts must
+//     agree with both the recovery-side counters and the MessageModel for
+//     clean episodes, and the per-category byte attribution must sum to
+//     exactly net.bytes (the V10 conservation oracle, checked here from a
+//     bench's vantage point).
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "analysis/complexity.hpp"
 #include "harness/experiments.hpp"
 #include "harness/phase_breakdown.hpp"
 #include "harness/table.hpp"
+#include "obs/ledger.hpp"
 
 using namespace rr;
 using harness::PaperSetup;
@@ -38,13 +45,20 @@ int main() {
   bool all_ok = true;
 
   // --- message model ---------------------------------------------------
+  // "wire" is the cost ledger's independent classification of the same
+  // frames from their encoded bytes at the network tap; predicted ==
+  // measured == wire is the full three-way agreement.
   Table msgs("T5a — control messages, clean single failure (n = 8): predicted vs measured",
-             {"algorithm", "kind", "predicted", "measured", "match"});
+             {"algorithm", "kind", "predicted", "measured", "wire", "match"});
+  Table cons("T5c — cost-ledger byte conservation (sum of categories == net.bytes)",
+             {"algorithm", "net.bytes", "ledger sum", "app", "piggyback", "control",
+              "other", "match"});
 
   for (const Algorithm alg :
        {Algorithm::kBlocking, Algorithm::kDeferUnsafe, Algorithm::kNonBlocking}) {
     ScenarioConfig sc;
     sc.cluster = PaperSetup::testbed(alg);
+    sc.cluster.enable_ledger = true;
     sc.factory = PaperSetup::workload();
     sc.crashes = {{ProcessId{1}, PaperSetup::kFirstCrash}};
     sc.horizon = PaperSetup::kHorizon;
@@ -71,13 +85,46 @@ int main() {
          {p.recovery_complete, r.counter("recovery.msg.recovery_complete")}},
     };
     for (const auto& [kind, counts] : rows) {
-      const bool ok = counts.first == counts.second;
+      const std::uint64_t wire = r.counter(std::string("ledger.frames.ctrl.") + kind);
+      const bool ok = counts.first == counts.second && counts.second == wire;
       all_ok = all_ok && ok;
       msgs.add_row({recovery::to_string(alg), kind, Table::integer(counts.first),
-                    Table::integer(counts.second), ok ? "yes" : "NO"});
+                    Table::integer(counts.second), Table::integer(wire),
+                    ok ? "yes" : "NO"});
     }
+
+    // Byte conservation: every transmitted byte lands in exactly one
+    // category, so the category sum must equal net.bytes to the byte.
+    std::uint64_t sum = 0;
+    std::uint64_t app = 0;
+    std::uint64_t piggyback = 0;
+    std::uint64_t control = 0;
+    for (std::size_t c = 0; c < obs::kCostCategoryCount; ++c) {
+      const auto cat = static_cast<obs::CostCategory>(c);
+      const std::uint64_t bytes =
+          r.counter(std::string("ledger.bytes.") + obs::to_string(cat));
+      sum += bytes;
+      if (cat == obs::CostCategory::kAppPayload) app += bytes;
+      if (cat == obs::CostCategory::kPiggybackPruned ||
+          cat == obs::CostCategory::kPiggybackReship) {
+        piggyback += bytes;
+      }
+      if (c >= obs::kFirstCtrlCategory || cat == obs::CostCategory::kIncVectorFull ||
+          cat == obs::CostCategory::kIncVectorDelta ||
+          cat == obs::CostCategory::kGatherRelay) {
+        control += bytes;
+      }
+    }
+    const std::uint64_t net = r.counter("net.bytes");
+    const bool conserved = sum == net;
+    all_ok = all_ok && conserved;
+    cons.add_row({recovery::to_string(alg), Table::integer(net), Table::integer(sum),
+                  Table::integer(app), Table::integer(piggyback), Table::integer(control),
+                  Table::integer(sum - app - piggyback - control),
+                  conserved ? "yes" : "NO"});
   }
   msgs.print();
+  cons.print();
 
   // --- latency model ---------------------------------------------------
   Table lat("T5b — recovery latency terms: predicted vs measured (non-blocking)",

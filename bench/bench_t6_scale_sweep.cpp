@@ -38,7 +38,8 @@ runtime::ClusterConfig scale_cluster(std::uint32_t n, Algorithm alg, bool prune)
   cfg.algorithm = alg;
   cfg.seed = 5;
   cfg.prune_piggyback = prune;
-  cfg.enable_trace = true;  // V1-V9 at every n; app traffic is sparse
+  cfg.enable_trace = true;   // V1-V9 at every n; app traffic is sparse
+  cfg.enable_ledger = true;  // arms the V10 byte-conservation oracle too
   cfg.net.base_latency = microseconds(200);
   cfg.net.jitter_max = microseconds(40);
   cfg.storage.seek_latency = milliseconds(2);

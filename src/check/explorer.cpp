@@ -46,6 +46,10 @@ runtime::ClusterConfig explorer_cluster(const FaultSchedule& s) {
   cfg.recovery.bug_skip_gather_restart = s.seeded_bug;
   cfg.enable_trace = true;  // the checker needs the full structured history
   cfg.enable_spans = true;  // failure reports carry a flight-recorder dump
+  // Every explored schedule arms the V10 cost-conservation oracle. The
+  // timeline sampler stays off (sample_every = 0): the byte ledger adds no
+  // sim events, so --replay lines recorded before it existed stay valid.
+  cfg.enable_ledger = true;
   if (s.needs_reliable()) {
     // Lossy/partitioned schedules run over the reliable transport, retuned
     // to the compressed timescale: escalation to peer-unreachable lands at
@@ -376,9 +380,18 @@ RunOutcome ScheduleExplorer::run(const FaultSchedule& schedule, RunCapture* capt
   outcome.recoveries = cluster.all_recoveries().size();
   outcome.gather_restarts = cluster.metrics().counter_value("recovery.gather_restarts");
   outcome.state_hash = cluster.state_hash();
+  if (const obs::CostLedger* ledger = cluster.ledger()) {
+    for (std::size_t i = 0; i < obs::kCostCategoryCount; ++i) {
+      outcome.ledger_bytes[i] = ledger->bytes(static_cast<obs::CostCategory>(i));
+      outcome.ledger_frames[i] = ledger->frames(static_cast<obs::CostCategory>(i));
+    }
+  }
   outcome.flight_dump = cluster.spans()->dump_all_flights();
   if (capture != nullptr && capture->want_trace_json) {
-    capture->trace_json = obs::export_trace_event_json(*cluster.spans());
+    capture->trace_json = obs::export_trace_event_json(*cluster.spans(), cluster.ledger());
+  }
+  if (capture != nullptr && capture->want_metrics_json) {
+    capture->metrics_json = obs::export_metrics_json(cluster.metrics(), cluster.ledger());
   }
   return outcome;
 }

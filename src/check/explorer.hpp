@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "check/schedule.hpp"
+#include "obs/ledger.hpp"
 #include "trace/history_checker.hpp"
 
 namespace rr::check {
@@ -56,6 +57,13 @@ struct RunOutcome {
   std::uint64_t recoveries{0};
   std::uint64_t gather_restarts{0};
   std::uint64_t state_hash{0};
+  /// Cost-ledger category totals (obs::CostCategory order). Every run
+  /// carries the ledger (it arms the V10 conservation oracle inside
+  /// check_history), and explore() folds these in canonical matrix order —
+  /// the aggregate rrcheck --metrics-out reports is therefore bit-identical
+  /// for every --jobs value.
+  std::array<std::uint64_t, obs::kCostCategoryCount> ledger_bytes{};
+  std::array<std::uint64_t, obs::kCostCategoryCount> ledger_frames{};
   /// Flight-recorder excerpt (last spans per involved node, still-open
   /// spans flagged), captured before the cluster is torn down. A wedged
   /// recovery shows up as spans that never closed.
@@ -116,6 +124,10 @@ struct RunCapture {
   /// Fill `trace_json` with the run's spans as Perfetto trace_event JSON.
   bool want_trace_json{false};
   std::string trace_json;
+  /// Fill `metrics_json` with the run's counters + ledger breakdown
+  /// (obs::export_metrics_json).
+  bool want_metrics_json{false};
+  std::string metrics_json;
 };
 
 class ScheduleExplorer {

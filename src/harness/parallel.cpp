@@ -1,5 +1,6 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -14,6 +15,24 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<ScenarioConfig>& con
   exec::parallel_for(jobs, configs.size(),
                      [&](std::size_t i) { results[i] = run_scenario(configs[i]); });
   return results;
+}
+
+std::vector<std::pair<std::string, metrics::Histogram>> merge_histograms(
+    const std::vector<ScenarioResult>& results) {
+  std::vector<std::pair<std::string, metrics::Histogram>> merged;
+  for (const ScenarioResult& r : results) {
+    for (std::size_t i = 0; i < r.span_histograms.size(); ++i) {
+      const std::string& name = r.span_latency[i].name;
+      auto it = std::find_if(merged.begin(), merged.end(),
+                             [&](const auto& row) { return row.first == name; });
+      if (it == merged.end()) {
+        merged.emplace_back(name, r.span_histograms[i]);
+      } else {
+        it->second.merge(r.span_histograms[i]);
+      }
+    }
+  }
+  return merged;
 }
 
 unsigned bench_jobs(int argc, char** argv) {

@@ -8,6 +8,8 @@
 // bit-identical to a serial run; only wall-clock time changes.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/scenario.hpp"
@@ -19,6 +21,15 @@ namespace rr::harness {
 /// concurrency). results[i] always corresponds to configs[i].
 [[nodiscard]] std::vector<ScenarioResult> run_scenarios(
     const std::vector<ScenarioConfig>& configs, unsigned jobs = 1);
+
+/// Combine the per-run "span.<name>" histogram snapshots of a sweep into
+/// one distribution per phase, matched by phase name. Results are folded in
+/// input-index order — the canonical order metrics::Histogram::merge
+/// documents — so sweep-level quantiles are bit-identical however the runs
+/// themselves were scheduled across workers. Row order is first-seen order,
+/// which for span histograms is the span taxonomy's declaration order.
+[[nodiscard]] std::vector<std::pair<std::string, metrics::Histogram>> merge_histograms(
+    const std::vector<ScenarioResult>& results);
 
 /// Parse the bench runners' shared `--jobs N` / `--jobs=N` flag from the
 /// raw argv. Absent = 1 (serial, the historical behaviour); an explicit 0

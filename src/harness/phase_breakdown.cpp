@@ -6,7 +6,7 @@ namespace rr::harness {
 
 Table phase_breakdown_table(const std::string& bench) {
   return Table(bench + " — phase latency breakdown (per completed span)",
-               {"algorithm", "phase", "count", "p50", "p95", "max"});
+               {"algorithm", "phase", "count", "p50", "p95", "p99", "max"});
 }
 
 void add_phase_rows(Table& table, const std::string& algorithm, const ScenarioResult& r) {
@@ -14,6 +14,7 @@ void add_phase_rows(Table& table, const std::string& algorithm, const ScenarioRe
     table.add_row({algorithm, p.name, Table::integer(p.count),
                    Table::ms(static_cast<Duration>(p.p50_ns)),
                    Table::ms(static_cast<Duration>(p.p95_ns)),
+                   Table::ms(static_cast<Duration>(p.p99_ns)),
                    Table::ms(static_cast<Duration>(p.max_ns))});
   }
 }
@@ -23,14 +24,15 @@ void print_bench_json(const std::string& bench, const std::string& algorithm,
   std::string out = "BENCHJSON {\"bench\":\"" + bench + "\",\"algorithm\":\"" + algorithm +
                     "\",\"phases\":{";
   bool first = true;
-  char buf[160];
+  char buf[192];
   for (const PhaseLatency& p : r.span_latency) {
     if (!first) out += ",";
     first = false;
     std::snprintf(buf, sizeof buf,
-                  "\"%s\":{\"count\":%llu,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"max_ms\":%.3f}",
+                  "\"%s\":{\"count\":%llu,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+                  "\"max_ms\":%.3f}",
                   p.name.c_str(), static_cast<unsigned long long>(p.count), p.p50_ns / 1e6,
-                  p.p95_ns / 1e6, p.max_ns / 1e6);
+                  p.p95_ns / 1e6, p.p99_ns / 1e6, p.max_ns / 1e6);
     out += buf;
   }
   out += "}}";

@@ -97,7 +97,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     const double cap = a == nullptr ? h->quantile(1.0) : max;
     r.span_latency.push_back(PhaseLatency{obs::to_string(name), h->count(),
                                           std::min(h->quantile(0.50), cap),
-                                          std::min(h->quantile(0.95), cap), max});
+                                          std::min(h->quantile(0.95), cap),
+                                          std::min(h->quantile(0.99), cap), max});
+    r.span_histograms.push_back(*h);
   }
 
   // Copy the registry's counters so the accessor outlives the cluster.

@@ -14,6 +14,7 @@
 
 #include "app/application.hpp"
 #include "app/workloads.hpp"
+#include "metrics/counters.hpp"
 #include "runtime/cluster.hpp"
 
 namespace rr::harness {
@@ -43,13 +44,15 @@ struct BlockedStat {
 
 /// One row of the per-phase span-latency breakdown, distilled from the
 /// registry's "span.<name>" histogram + accumulator pairs the SpanTracer
-/// feeds (requires cluster.enable_spans). Durations in nanoseconds; p50/p95
-/// carry the histogram's power-of-two bucket resolution, max is exact.
+/// feeds (requires cluster.enable_spans). Durations in nanoseconds;
+/// p50/p95/p99 carry the histogram's power-of-two bucket resolution, max is
+/// exact.
 struct PhaseLatency {
   std::string name;  ///< span name: "gather", "regather", "replay", ...
   std::uint64_t count{0};
   double p50_ns{0};
   double p95_ns{0};
+  double p99_ns{0};
   double max_ns{0};
 };
 
@@ -65,6 +68,10 @@ struct ScenarioResult {
   /// Per-phase latency rows (empty unless cluster.enable_spans), sorted by
   /// the span taxonomy's declaration order (protocol phases first).
   std::vector<PhaseLatency> span_latency;
+  /// Raw "span.<name>" histogram snapshots, index-aligned with
+  /// span_latency, so sweeps can combine distributions across runs with
+  /// merge_histograms() instead of re-deriving quantiles per run.
+  std::vector<metrics::Histogram> span_histograms;
 
   std::uint64_t ctrl_msgs{0};
   std::uint64_t ctrl_bytes{0};

@@ -86,6 +86,17 @@ class Histogram {
   [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
   [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 
+  /// Combine another histogram into this one (bucket-wise addition).
+  /// Counts and buckets are exact under any merge order; `sum_` (and hence
+  /// mean()) is floating-point, so callers that need bit-identical results
+  /// across worker counts must merge in a canonical order — see
+  /// harness::merge_histograms, which folds results in input-index order.
+  void merge(const Histogram& other) noexcept {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
   void reset() noexcept { *this = Histogram{}; }
 
  private:

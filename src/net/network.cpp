@@ -6,6 +6,7 @@
 
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "obs/ledger.hpp"
 #include "obs/span.hpp"
 
 namespace rr::net {
@@ -167,6 +168,11 @@ void Network::schedule_delivery(Time at, ProcessId src, ProcessId dst, Bytes pay
 }
 
 std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
+  // The transport's retransmit hint is one-shot and consumed on *every*
+  // path through send(), so a retransmission dropped below cannot mislabel
+  // the sender's next packet in the ledger.
+  const bool retransmit =
+      ledger_ != nullptr && ledger_->take_retransmit_hint(src.value);
   const auto src_it = endpoints_.find(src);
   if (src_it == endpoints_.end() || !src_it->second.up) {
     metrics_.counter("net.drop.down").add();
@@ -210,6 +216,10 @@ std::size_t Network::send(ProcessId src, ProcessId dst, Bytes payload) {
   const std::size_t bytes = payload.size() + kHeaderBytes;
   metrics_.counter("net.packets").add();
   metrics_.counter("net.bytes").add(bytes);
+  // Classified at the same site "net.bytes" is charged: the ledger's
+  // category totals partition that counter exactly (V10). Duplicated
+  // copies below bypass both, keeping the two in lockstep.
+  if (ledger_ != nullptr) ledger_->on_wire(src.value, payload, kHeaderBytes, retransmit);
 
   // FIFO: never deliver earlier than the previous packet on this channel.
   // Injected delay is applied before the horizon so it pushes the channel

@@ -38,6 +38,7 @@
 #include "sim/simulator.hpp"
 
 namespace rr::obs {
+class CostLedger;
 class SpanTracer;
 }
 
@@ -152,6 +153,14 @@ class Network {
   /// so the tap is a single call with no matching state.
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
 
+  /// Install (or clear, with nullptr) the cost-attribution ledger. Every
+  /// accepted packet is classified at the exact site where "net.bytes" is
+  /// charged, so the ledger's category totals partition that counter (the
+  /// V10 conservation oracle). The reliable transport marks retransmissions
+  /// via ledger()->note_retransmit() just before re-sending.
+  void set_ledger(obs::CostLedger* ledger) { ledger_ = ledger; }
+  [[nodiscard]] obs::CostLedger* ledger() const noexcept { return ledger_; }
+
   /// Install (or clear, with nullptr) the per-packet fault hook. Applies
   /// extra delay *before* the FIFO horizon, so injected delays push the
   /// whole channel back instead of reordering it.
@@ -213,6 +222,7 @@ class Network {
   std::vector<ChannelHorizon> channel_horizon_;  // sorted by key
   FaultHook fault_hook_;
   obs::SpanTracer* tracer_{nullptr};
+  obs::CostLedger* ledger_{nullptr};
   std::vector<ProcessId> partitioned_;  // sorted; typically 0-2 entries
   std::vector<ProcessId> exempt_;       // sorted; typically just the ord service
   std::uint64_t draw_seed_{0};          // sim seed fork ^ faults.salt

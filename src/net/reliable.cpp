@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/ledger.hpp"
 
 namespace rr::net {
+
+namespace {
+
+/// Mark the next packet from `self` as a retransmission for the cost
+/// ledger (one-shot; Network::send consumes it on every path).
+void hint_retransmit(Network& network, ProcessId self) {
+  if (obs::CostLedger* ledger = network.ledger()) ledger->note_retransmit(self.value);
+}
+
+}  // namespace
 
 namespace {
 
@@ -113,6 +124,7 @@ void ReliableTransport::on_timeout(ProcessId dst) {
     const Unacked& u = ch.unacked[i];
     metrics_.counter("net.retransmit").add();
     metrics_.counter("net.retransmit_bytes").add(u.wire.size() + Network::kHeaderBytes);
+    hint_retransmit(network_, self_);
     network_.send(self_, dst, BufferPool::global().copy_of(u.wire));
   }
 
@@ -167,6 +179,7 @@ void ReliableTransport::restart_stream(ProcessId peer, SendChannel& ch) {
     u.wire = std::move(rewrapped);
     metrics_.counter("net.retransmit").add();
     metrics_.counter("net.retransmit_bytes").add(u.wire.size() + Network::kHeaderBytes);
+    hint_retransmit(network_, self_);
     network_.send(self_, peer, BufferPool::global().copy_of(u.wire));
   }
   if (ch.timer.valid()) sim_.cancel(ch.timer);

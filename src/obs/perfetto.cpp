@@ -55,9 +55,30 @@ void append_meta(std::string& out, int pid, int tid, const char* key,
   out += ",\"args\":{\"name\":\"" + value + "\"}}";
 }
 
+/// One counter ("C") sample: a single-series args object. Perfetto draws
+/// one stacked-area track per (pid, name).
+void append_counter(std::string& out, const char* name, Time ts, std::uint32_t pid,
+                    const char* series, double value, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  {\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"C\",\"ts\":";
+  append_us(out, ts);
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":0,\"args\":{\"";
+  out += series;
+  out += "\":";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  out += buf;
+  out += "}}";
+}
+
 }  // namespace
 
-std::string export_trace_event_json(const SpanTracer& tracer) {
+std::string export_trace_event_json(const SpanTracer& tracer, const CostLedger* ledger) {
   // Open spans are drawn up to the latest timestamp the arena knows about.
   Time horizon = 0;
   for (SpanId id = 1; id <= tracer.span_count(); ++id) {
@@ -104,6 +125,24 @@ std::string export_trace_event_json(const SpanTracer& tracer) {
     if (rec.open()) out += ",\"open\":true";
     out += "}}";
   }
+
+  if (ledger != nullptr) {
+    for (std::size_t s = 0; s < ledger->sample_count(); ++s) {
+      const LedgerSampleHeader& h = ledger->sample_header(s);
+      append_counter(out, "net_kb", h.at, tracer.service_slot(), "kb",
+                     static_cast<double>(h.net_bytes) / 1024.0, first);
+      append_counter(out, "ctrl_kb", h.at, tracer.service_slot(), "kb",
+                     static_cast<double>(h.ctrl_bytes) / 1024.0, first);
+      for (std::uint32_t n = 0; n < ledger->num_nodes(); ++n) {
+        const LedgerNodeSample& row = ledger->sample_node(s, n);
+        append_counter(out, "blocked_ms", h.at, n, "ms",
+                       static_cast<double>(row.blocked_ns) / 1e6, first);
+        append_counter(out, "sent_kb", h.at, n, "kb",
+                       static_cast<double>(row.sent_bytes) / 1024.0, first);
+      }
+    }
+  }
+
   out += "\n],\n\"displayTimeUnit\":\"ms\"\n}\n";
   return out;
 }
@@ -351,6 +390,16 @@ bool validate_trace_event_json(std::string_view json, std::string* error) {
     } else if (ph->string == "M") {
       if (args == nullptr || args->find("name") == nullptr) {
         return schema_fail(error, i, "metadata event without args.name");
+      }
+    } else if (ph->string == "C") {
+      // Counter samples carry one or more numeric series in args.
+      if (args == nullptr || args->object.empty()) {
+        return schema_fail(error, i, "\"C\" event without args series");
+      }
+      for (const auto& [key, v] : args->object) {
+        if (v.kind != JsonValue::Kind::kNumber) {
+          return schema_fail(error, i, "\"C\" event with non-numeric series");
+        }
       }
     }
   }

@@ -15,14 +15,20 @@
 #include <string>
 #include <string_view>
 
+#include "obs/ledger.hpp"
 #include "obs/span.hpp"
 
 namespace rr::obs {
 
 /// Render the tracer's whole arena as trace_event JSON. Spans still open
 /// are extended to the latest timestamp in the arena and tagged
-/// "open": true in their args.
-[[nodiscard]] std::string export_trace_event_json(const SpanTracer& tracer);
+/// "open": true in their args. When a CostLedger with a sampled timeline is
+/// given, its series are merged into the same stream as counter ("C")
+/// tracks on the same timebase: per-node blocked_ms and sent_bytes, plus
+/// the cluster-wide net_bytes/ctrl_bytes curves on the service process —
+/// so span flame charts and cost curves line up in the Perfetto UI.
+[[nodiscard]] std::string export_trace_event_json(const SpanTracer& tracer,
+                                                  const CostLedger* ledger = nullptr);
 
 /// Structural check of trace_event JSON: parses the document with a small
 /// built-in JSON parser (no external deps) and verifies the trace_event

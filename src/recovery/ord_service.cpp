@@ -56,9 +56,14 @@ void OrdService::phase(PhaseId id, ProcessId subject, Ord ord) {
 }
 
 void OrdService::reply(ProcessId to, const ControlMessage& m) {
+  // Count only actual transmissions (bytes > 0), matching Node::send_control
+  // and the MessageBreakdown model's "counted as transmissions" contract —
+  // a reply toward a just-crashed requester charges nothing anywhere, which
+  // is what keeps the wire-side ledger (V10) in exact agreement.
+  const std::size_t bytes = network_.send(self_, to, encode_control(m));
+  if (bytes == 0) return;
   metrics_.counter("recovery.ctrl_msgs").add();
   metrics_.counter(std::string("recovery.msg.") + control_name(m)).add();
-  const std::size_t bytes = network_.send(self_, to, encode_control(m));
   metrics_.counter("recovery.ctrl_bytes").add(bytes);
 }
 

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/hash.hpp"
 #include "fbl/frame.hpp"
+#include "net/reliable.hpp"
 
 namespace rr::runtime {
 
@@ -32,6 +33,23 @@ Cluster::Cluster(ClusterConfig config, const app::AppFactory& factory)
     sc.ctrl_frame_byte = static_cast<std::uint32_t>(fbl::FrameKind::kControl);
     tracer_ = std::make_unique<obs::SpanTracer>(sc, metrics_);
     network_.set_tracer(tracer_.get());
+  }
+  if (config_.enable_ledger) {
+    obs::CostLedgerConfig lc;
+    lc.num_nodes = config_.num_processes;
+    lc.prune_piggyback = config_.prune_piggyback;
+    lc.sample_every = config_.ledger_sample_every;
+    // The transport's framing magic crosses the obs layering boundary as
+    // plain config — obs must not include net (rrlint L1).
+    lc.transport_data_byte = net::ReliableTransport::kDataByte;
+    lc.transport_ack_byte = net::ReliableTransport::kAckByte;
+    ledger_ = std::make_unique<obs::CostLedger>(lc, metrics_);
+    network_.set_ledger(ledger_.get());
+    if (config_.ledger_sample_every > 0) {
+      ledger_timer_ = std::make_unique<sim::RepeatingTimer>(
+          sim_, config_.ledger_sample_every, [this] { sample_ledger_now(); });
+      ledger_timer_->start();
+    }
   }
 
   pids_.reserve(config_.num_processes);
@@ -135,7 +153,27 @@ trace::CheckResult Cluster::check_history() const {
   RR_CHECK_MSG(trace_ != nullptr, "enable_trace must be set to check history");
   // The V9 exactly-once pass only holds when protocol traffic rode the
   // reliable transport — on the bare fabric, dropped frames stay lost.
-  return trace::check_history(*trace_, 16, config_.transport.enabled);
+  trace::CheckResult result = trace::check_history(*trace_, 16, config_.transport.enabled);
+  // V10 cost conservation rides along whenever the ledger is armed: the
+  // wire-side attribution must partition net.bytes and agree per control
+  // kind with the recovery layer's own counters.
+  if (ledger_ != nullptr) {
+    for (std::string& v : ledger_->audit(metrics_)) {
+      result.ok = false;
+      result.violations.push_back(std::move(v));
+    }
+  }
+  return result;
+}
+
+void Cluster::sample_ledger_now() {
+  RR_CHECK_MSG(ledger_ != nullptr, "enable_ledger must be set to sample");
+  std::vector<std::uint64_t> blocked;
+  blocked.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    blocked.push_back(static_cast<std::uint64_t>(n->blocked_time()));
+  }
+  ledger_->take_sample(sim_.now(), blocked);
 }
 
 std::uint64_t Cluster::total_app_delivered() const {

@@ -14,6 +14,7 @@
 #include "detect/failure_detector.hpp"
 #include "metrics/registry.hpp"
 #include "net/network.hpp"
+#include "obs/ledger.hpp"
 #include "obs/span.hpp"
 #include "recovery/ord_service.hpp"
 #include "recovery/recovery_manager.hpp"
@@ -55,6 +56,13 @@ struct ClusterConfig {
   bool enable_spans{false};
   /// Flight-recorder ring size per node when enable_spans is set.
   std::uint32_t flight_capacity{64};
+  /// Attribute every wire byte to a cost category (obs::CostLedger) and arm
+  /// the V10 cost-conservation oracle in check_history(); off by default.
+  bool enable_ledger{false};
+  /// Timeline sampling period for the ledger (sim-time driven); 0 keeps the
+  /// byte ledger without a timeline — and without any extra sim events, so
+  /// replay schedules recorded before the ledger existed stay valid.
+  Duration ledger_sample_every{0};
 };
 
 class Cluster {
@@ -111,6 +119,15 @@ class Cluster {
   /// Causal span tracer (nullptr unless enable_spans).
   [[nodiscard]] const obs::SpanTracer* spans() const noexcept { return tracer_.get(); }
 
+  /// Cost-attribution ledger (nullptr unless enable_ledger).
+  [[nodiscard]] const obs::CostLedger* ledger() const noexcept { return ledger_.get(); }
+
+  /// Append one timeline sample at the current sim time (requires
+  /// enable_ledger). The sampler timer calls this on its cadence; callers
+  /// invoke it once more after the run so the final sample's blocked-time
+  /// column equals the scalar total_blocked_time() exactly.
+  void sample_ledger_now();
+
   /// Run the global history checker on the recorded trace (requires
   /// enable_trace).
   [[nodiscard]] trace::CheckResult check_history() const;
@@ -134,6 +151,8 @@ class Cluster {
   recovery::OrdService ord_;
   std::unique_ptr<trace::TraceLog> trace_;
   std::unique_ptr<obs::SpanTracer> tracer_;
+  std::unique_ptr<obs::CostLedger> ledger_;
+  std::unique_ptr<sim::RepeatingTimer> ledger_timer_;
   std::vector<ProcessId> pids_;
   std::vector<std::unique_ptr<Node>> nodes_;
   recovery::PhaseHook phase_probe_;

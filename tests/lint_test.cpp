@@ -210,6 +210,22 @@ TEST(LintL1, DownwardIncludeIsQuiet) {
   EXPECT_EQ(count_rule(ds, RuleId::kL1UpwardInclude), 0u);
 }
 
+TEST(LintL1, FlagsObsReachingIntoRecoveryOrNet) {
+  // The cost ledger's layering contract: obs (rank 3) parses recovery's
+  // wire formats but must never include recovery (rank 5) or net (rank 4).
+  const auto ds = lint_files({{"src/obs/fix.hpp",
+                               "#include \"recovery/messages.hpp\"\n"
+                               "#include \"net/reliable.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL1UpwardInclude), 2u);
+}
+
+TEST(LintL1, ObsUsingFblAndMetricsIsQuiet) {
+  const auto ds = lint_files({{"src/obs/fix.hpp",
+                               "#include \"fbl/frame.hpp\"\n"
+                               "#include \"metrics/registry.hpp\"\n"}});
+  EXPECT_EQ(count_rule(ds, RuleId::kL1UpwardInclude), 0u);
+}
+
 TEST(LintL2, FlagsIncludeCycle) {
   const auto ds = lint_files({{"src/fbl/a.hpp", "#include \"fbl/b.hpp\"\nstruct A {};\n"},
                               {"src/fbl/b.hpp", "#include \"fbl/a.hpp\"\nstruct B {};\n"}});

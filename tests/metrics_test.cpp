@@ -1,6 +1,8 @@
 // Counter, Accumulator, IntervalTracker and the Registry.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "metrics/counters.hpp"
 #include "metrics/registry.hpp"
 
@@ -78,6 +80,50 @@ TEST(IntervalTracker, EndWithoutBeginIsNoop) {
   EXPECT_EQ(t.episodes(), 0u);
 }
 
+// A crash closes the victim's open interval at the crash instant (see
+// Node::crash): the blocked time charged is exactly [begin, crash), and the
+// tracker is reusable for the next incarnation without carrying the old
+// open state.
+TEST(IntervalTracker, IntervalOpenAtCrashTimeChargesUpToCrash) {
+  IntervalTracker t;
+  t.begin(100);
+  t.end(140);  // crash at t=140 while blocked
+  EXPECT_FALSE(t.open());
+  EXPECT_EQ(t.total_closed(), 40);
+  // Post-restart queries must not keep accruing.
+  EXPECT_EQ(t.total(10'000), 40);
+  t.begin(200);  // next incarnation blocks again
+  EXPECT_EQ(t.total(250), 90);
+  EXPECT_EQ(t.episodes(), 2u);
+}
+
+TEST(IntervalTracker, ZeroLengthIntervalCountsEpisodeNotTime) {
+  IntervalTracker t;
+  t.begin(70);
+  t.end(70);
+  EXPECT_EQ(t.total(100), 0);
+  EXPECT_EQ(t.total_closed(), 0);
+  EXPECT_EQ(t.episodes(), 1u);
+  EXPECT_FALSE(t.open());
+}
+
+TEST(IntervalTracker, ResetWhileOpenDropsTheOpenInterval) {
+  IntervalTracker t;
+  t.begin(10);
+  t.end(30);
+  t.begin(50);
+  EXPECT_TRUE(t.open());
+  t.reset();
+  EXPECT_FALSE(t.open());
+  EXPECT_EQ(t.total(100), 0);
+  EXPECT_EQ(t.episodes(), 0u);
+  // end() after reset is a plain no-op, not a resurrection of the dropped
+  // interval.
+  t.end(90);
+  EXPECT_EQ(t.total(100), 0);
+  EXPECT_EQ(t.episodes(), 0u);
+}
+
 TEST(Histogram, EmptyIsZeroed) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -117,6 +163,45 @@ TEST(Histogram, RecordDurationMatchesRecord) {
   a.record_duration(milliseconds(3));
   b.record(3e6);
   EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+}
+
+TEST(Histogram, MergeAddsCountsAndBuckets) {
+  Histogram a, b;
+  for (int i = 0; i < 90; ++i) a.record(100.0);
+  for (int i = 0; i < 10; ++i) b.record(1'000'000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), (90 * 100.0 + 10 * 1'000'000.0) / 100.0);
+  // The merged distribution has b's values as its tail.
+  EXPECT_LT(a.p50(), 300.0);
+  EXPECT_GT(a.p99(), 500'000.0);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(42.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Histogram fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.count(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.p50(), a.p50());
+}
+
+// Merging the same parts in the same (canonical) order twice is
+// bit-identical — the guarantee harness::merge_histograms relies on for
+// jobs-parity of the parallel bench path.
+TEST(Histogram, MergeInCanonicalOrderIsDeterministic) {
+  Histogram parts[3];
+  parts[0].record(0.1);
+  parts[0].record(7.0);
+  parts[1].record(1e9);
+  parts[2].record(3.5);
+  Histogram x, y;
+  for (const auto& p : parts) x.merge(p);
+  for (const auto& p : parts) y.merge(p);
+  EXPECT_EQ(x.count(), y.count());
+  EXPECT_EQ(std::memcmp(&x, &y, sizeof(Histogram)), 0);
 }
 
 TEST(Registry, HistogramsCreatedOnFirstUse) {

@@ -10,9 +10,13 @@ numbers as the "baseline"; later runs keep that baseline and refresh
 
 Also runs the T-series recovery benches (bench_t1..bench_t3) and scrapes
 their "BENCHJSON {...}" marker lines — the span tracer's per-phase
-p50/p95/max latency breakdown — into BENCH_recovery.json. The T-series
+p50/p95/p99/max latency breakdown — into BENCH_recovery.json. The T-series
 benches fan their scenario sweeps out on the work-stealing pool; pass
 --jobs N to time them parallel (their output is identical either way).
+
+Every scraper validates the keys it is about to read and exits nonzero
+with a pointed message when a marker line is missing one — a bench whose
+JSON shape drifted fails the report instead of silently writing holes.
 
 BENCH_explore.json times a truncated rrcheck --sweep serially and on the
 work-stealing pool (schedules/sec, wall-clock speedup), verifies the two
@@ -33,6 +37,12 @@ count, unsuppressed diagnostics (0 on a green tree — rrlint_clean gates it)
 and justified suppressions, with the per-rule breakdown. Tracks the
 determinism contract's footprint across PRs next to the perf numbers.
 
+BENCH_obs.json scrapes the F9 intrusion-timeline bench
+(bench_f9_intrusion_timeline): the cost ledger's deterministic sampler as
+cost/blocked-time curves per (algorithm x n) cell, re-asserting from the
+scraped numbers that each timeline's final cumulative blocked time matches
+the scalar metric within 0.1%.
+
 BENCH_scale.json scrapes the T6 scale sweep (bench_t6_scale_sweep):
 recovery latency, control-message bytes/count and live intrusion per
 (n x algorithm x prune) cell up to n = 1024, with the serial/parallel
@@ -47,11 +57,13 @@ Usage:
                         [--explore-out BENCH_explore.json]
                         [--network-out BENCH_network.json]
                         [--scale-out BENCH_scale.json]
+                        [--obs-out BENCH_obs.json]
                         [--jobs N] [--explore-runs N]
                         [--filter REGEX] [--baseline-from FILE]
                         [--lint-out BENCH_lint.json]
                         [--skip-kernel] [--skip-recovery] [--skip-explore]
                         [--skip-network] [--skip-scale] [--skip-lint]
+                        [--skip-obs]
 """
 
 import argparse
@@ -99,6 +111,23 @@ def run_suite(binary: pathlib.Path, bench_filter: str | None) -> list[dict]:
     return rows
 
 
+def require_keys(row: dict, keys: tuple[str, ...], context: str) -> bool:
+    """Fail loudly when a BENCHJSON row lacks an expected key.
+
+    A bench whose marker-line shape drifted must fail the report with a
+    pointed message, not crash with a KeyError or silently write holes.
+    """
+    missing = [k for k in keys if k not in row]
+    if missing:
+        print(
+            f"error: {context}: BENCHJSON row missing expected key(s) "
+            f"{', '.join(missing)} — row: {json.dumps(row, sort_keys=True)[:200]}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def scrape_benchjson(binary: pathlib.Path, jobs: int) -> tuple[list[dict], float]:
     """Collect the BENCHJSON marker lines a T-series bench prints."""
     start = time.monotonic()
@@ -125,6 +154,14 @@ def write_recovery_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int
         rows, elapsed = scrape_benchjson(binary, jobs)
         wall_clock[suite] = round(elapsed, 3)
         for row in rows:
+            if not require_keys(row, ("bench", "algorithm", "phases"), suite):
+                return 1
+            for phase, stats in row["phases"].items():
+                if not require_keys(
+                    stats, ("count", "p50_ms", "p95_ms", "p99_ms", "max_ms"),
+                    f"{suite} phase '{phase}'",
+                ):
+                    return 1
             bench = benches.setdefault(row["bench"], {"suite": suite, "algorithms": {}})
             bench["algorithms"][row["algorithm"]] = row["phases"]
     report = {
@@ -231,6 +268,11 @@ def write_scale_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int) -
     # from the bench's own exit code: between the n = 8 and n = 1024
     # endpoints the cluster grows 128x, and the pruned runs' control bytes
     # per message must grow strictly sublinearly in that.
+    for row in serial_rows:
+        if not require_keys(
+            row, ("algorithm", "n", "prune", "ctrl_bytes_per_msg"), "bench_t6_scale_sweep"
+        ):
+            return 1
     n_growth = 1024 / 8
     sublinear = True
     growth: dict[str, dict] = {}
@@ -276,6 +318,52 @@ def write_scale_report(build: pathlib.Path, out_path: pathlib.Path, jobs: int) -
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path} ({len(cells)} sweep cells)", file=sys.stderr)
     return 0 if identical and sublinear else 1
+
+
+def write_obs_report(build: pathlib.Path, out_path: pathlib.Path) -> int:
+    binary = build / "bench" / "bench_f9_intrusion_timeline"
+    if not binary.exists():
+        print(f"error: {binary} not built (cmake --build {build})", file=sys.stderr)
+        return 1
+    print("running bench_f9_intrusion_timeline ...", file=sys.stderr)
+    rows, elapsed = scrape_benchjson(binary, 1)
+    if not rows:
+        print("error: F9 printed no BENCHJSON marker lines", file=sys.stderr)
+        return 1
+    cells = []
+    integral_ok = True
+    for row in rows:
+        if not require_keys(
+            row,
+            ("algorithm", "n", "sample_every_ms", "samples",
+             "blocked_timeline_ms", "blocked_scalar_ms", "timeline"),
+            "bench_f9_intrusion_timeline",
+        ):
+            return 1
+        # Re-check the bench's own gate from the scraped numbers: the final
+        # cumulative timeline sample must integrate to the scalar within 0.1%.
+        diff = abs(row["blocked_timeline_ms"] - row["blocked_scalar_ms"])
+        ok = diff <= 0.001 * row["blocked_scalar_ms"] + 1e-6
+        if not ok:
+            print(
+                f"error: F9 {row['algorithm']} n={row['n']}: timeline blocked "
+                f"{row['blocked_timeline_ms']} ms vs scalar "
+                f"{row['blocked_scalar_ms']} ms (> 0.1% apart)",
+                file=sys.stderr,
+            )
+            integral_ok = False
+        cells.append({k: v for k, v in row.items() if k != "bench"})
+    report = {
+        "schema": 1,
+        "bench": "f9_intrusion_timeline",
+        "unit": {"timeline": "[t_ms, net_kib, ctrl_kib, blocked_ms]"},
+        "wall_clock_s": round(elapsed, 3),
+        "blocked_integral_matches_scalar": integral_ok,
+        "cells": cells,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} ({len(cells)} timeline cells)", file=sys.stderr)
+    return 0 if integral_ok else 1
 
 
 def time_sweep(rrcheck: pathlib.Path, jobs: int, runs: int) -> tuple[str, float]:
@@ -339,6 +427,7 @@ def main() -> int:
     ap.add_argument("--explore-out", default=str(repo_root / "BENCH_explore.json"))
     ap.add_argument("--network-out", default=str(repo_root / "BENCH_network.json"))
     ap.add_argument("--scale-out", default=str(repo_root / "BENCH_scale.json"))
+    ap.add_argument("--obs-out", default=str(repo_root / "BENCH_obs.json"))
     ap.add_argument("--lint-out", default=str(repo_root / "BENCH_lint.json"))
     ap.add_argument(
         "--jobs",
@@ -358,6 +447,7 @@ def main() -> int:
     ap.add_argument("--skip-explore", action="store_true")
     ap.add_argument("--skip-network", action="store_true")
     ap.add_argument("--skip-scale", action="store_true")
+    ap.add_argument("--skip-obs", action="store_true")
     ap.add_argument("--skip-lint", action="store_true")
     ap.add_argument(
         "--baseline-from",
@@ -385,6 +475,10 @@ def main() -> int:
             return rc
     if not args.skip_scale:
         rc = write_scale_report(build, pathlib.Path(args.scale_out), args.jobs)
+        if rc != 0:
+            return rc
+    if not args.skip_obs:
+        rc = write_obs_report(build, pathlib.Path(args.obs_out))
         if rc != 0:
             return rc
     if not args.skip_lint:

@@ -28,6 +28,7 @@
 #include "check/explorer.hpp"
 #include "common/log.hpp"
 #include "exec/work_steal.hpp"
+#include "obs/ledger.hpp"
 
 using namespace rr;
 
@@ -59,6 +60,10 @@ namespace {
       "                       write the span timeline (rrcheck_trace.json)\n"
       "  --trace-out FILE     with --replay: write the run's span timeline as\n"
       "                       Chrome/Perfetto trace_event JSON\n"
+      "  --metrics-out FILE   with --replay: write the run's counters + cost-\n"
+      "                       ledger breakdown as JSON; with sweeps: write the\n"
+      "                       matrix-aggregated per-category ledger (byte-\n"
+      "                       identical for every --jobs value)\n"
       "  --help               this text\n");
   std::exit(code);
 }
@@ -75,7 +80,20 @@ struct Options {
   bool verbose = false;
   bool debug = false;
   std::string trace_out;
+  std::string metrics_out;
 };
+
+/// Write `body` to `path`; returns false (after a stderr note) on failure.
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "rrcheck: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 Options parse_args(int argc, char** argv) {
   Options opt;
@@ -126,6 +144,8 @@ Options parse_args(int argc, char** argv) {
       logging::set_level(LogLevel::kDebug);
     } else if (arg == "--trace-out") {
       opt.trace_out = need_value(i);
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = need_value(i);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(2);
@@ -149,6 +169,7 @@ int run_replay(const Options& opt) {
   if (trace_path.empty() && opt.debug) trace_path = "rrcheck_trace.json";
   check::RunCapture capture;
   capture.want_trace_json = !trace_path.empty();
+  capture.want_metrics_json = !opt.metrics_out.empty();
   const check::RunOutcome outcome = check::ScheduleExplorer::run(schedule, &capture);
   std::printf("  terminated=%s  recoveries=%llu  gather_restarts=%llu  "
               "phase_events=%llu  injections=%llu  state_hash=%016llx\n",
@@ -183,6 +204,10 @@ int run_replay(const Options& opt) {
     std::printf("span timeline written to %s (load at ui.perfetto.dev)\n",
                 trace_path.c_str());
   }
+  if (!opt.metrics_out.empty()) {
+    if (!write_file(opt.metrics_out, capture.metrics_json)) return 2;
+    std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+  }
   std::printf("%s\n", outcome.ok() ? "PASS" : "FAIL");
   return outcome.ok() ? 0 : 1;
 }
@@ -206,8 +231,18 @@ int run_explore(const Options& opt) {
   }
 
   std::uint64_t done = 0;
+  // Per-category byte/frame totals across the whole sweep. on_run fires in
+  // canonical matrix order whatever --jobs is, so the aggregate (and the
+  // file written below) is byte-identical for every worker count — the
+  // rrcheck_metrics_parity CI test cmp's exactly that.
+  std::array<std::uint64_t, obs::kCostCategoryCount> sweep_bytes{};
+  std::array<std::uint64_t, obs::kCostCategoryCount> sweep_frames{};
   eo.on_run = [&](const check::FaultSchedule& s, const check::RunOutcome& o) {
     ++done;
+    for (std::size_t c = 0; c < obs::kCostCategoryCount; ++c) {
+      sweep_bytes[c] += o.ledger_bytes[c];
+      sweep_frames[c] += o.ledger_frames[c];
+    }
     if (opt.verbose) {
       std::printf("[%5llu] %-90s %s\n", static_cast<unsigned long long>(done),
                   s.format().c_str(), o.brief().c_str());
@@ -237,6 +272,23 @@ int run_explore(const Options& opt) {
     if (!result.shrunk_outcome.flight_dump.empty()) {
       std::printf("%s", result.shrunk_outcome.flight_dump.c_str());
     }
+  }
+
+  if (!opt.metrics_out.empty()) {
+    std::string json = "{\n  \"runs\": " + std::to_string(done) +
+                       ",\n  \"categories\": {\n";
+    for (std::size_t c = 0; c < obs::kCostCategoryCount; ++c) {
+      json += "    \"";
+      json += obs::to_string(static_cast<obs::CostCategory>(c));
+      json += "\": {\"bytes\": " + std::to_string(sweep_bytes[c]) +
+              ", \"frames\": " + std::to_string(sweep_frames[c]) + "}";
+      json += c + 1 < obs::kCostCategoryCount ? ",\n" : "\n";
+    }
+    json += "  }\n}\n";
+    if (!write_file(opt.metrics_out, json)) return 2;
+    // stderr, like the worker count: sweep stdout must stay byte-identical
+    // whatever the output path or --jobs value (CI cmp's it).
+    std::fprintf(stderr, "aggregate ledger written to %s\n", opt.metrics_out.c_str());
   }
 
   if (opt.mode == Options::Mode::kSeedBug) {

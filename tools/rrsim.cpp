@@ -42,6 +42,7 @@ struct Options {
   bool trace_dump = false;
   bool verbose = false;
   std::string trace_out;
+  std::string metrics_out;
   std::vector<std::pair<std::uint32_t, double>> crashes;  // pid @ seconds
 };
 
@@ -62,7 +63,10 @@ struct Options {
       "  --check              record a trace and run the history checker\n"
       "  --trace-dump         print the first 200 trace events (implies --check)\n"
       "  --trace-out FILE     record causal spans and write them as\n"
-      "                       Chrome/Perfetto trace_event JSON\n"
+      "                       Chrome/Perfetto trace_event JSON (with the cost\n"
+      "                       ledger's counter tracks merged in)\n"
+      "  --metrics-out FILE   write counters + per-category cost ledger +\n"
+      "                       sampled timeline as JSON\n"
       "  --verbose            protocol-level logging\n"
       "  --help               this text\n");
   std::exit(code);
@@ -125,6 +129,8 @@ Options parse(int argc, char** argv) {
       opt.trace_dump = true;
     } else if (arg == "--trace-out") {
       opt.trace_out = need_value(i);
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = need_value(i);
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -184,6 +190,10 @@ int main(int argc, char** argv) {
   config.seed = opt.seed;
   config.enable_trace = opt.check;
   config.enable_spans = !opt.trace_out.empty();
+  // Either export wants the cost ledger; the sampled timeline feeds both the
+  // Perfetto counter tracks and the metrics JSON.
+  config.enable_ledger = !opt.trace_out.empty() || !opt.metrics_out.empty();
+  if (config.enable_ledger) config.ledger_sample_every = milliseconds(50);
 
   runtime::Cluster cluster(config, make_workload(opt));
   cluster.start();
@@ -242,8 +252,14 @@ int main(int argc, char** argv) {
   }
 
   bool ok = cluster.all_idle();
+  // Close the timeline with a final sample at the stop time so the last
+  // partial period is represented in both exports.
+  if (cluster.ledger() != nullptr && cluster.ledger()->sample_every() > 0) {
+    cluster.sample_ledger_now();
+  }
   if (!opt.trace_out.empty()) {
-    const std::string json = obs::export_trace_event_json(*cluster.spans());
+    const std::string json =
+        obs::export_trace_event_json(*cluster.spans(), cluster.ledger());
     std::FILE* f = std::fopen(opt.trace_out.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "rrsim: cannot write %s\n", opt.trace_out.c_str());
@@ -253,6 +269,18 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("\nspan timeline: %zu spans written to %s (load at ui.perfetto.dev)\n",
                 cluster.spans()->span_count(), opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    const std::string json = obs::export_metrics_json(m, cluster.ledger());
+    std::FILE* f = std::fopen(opt.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rrsim: cannot write %s\n", opt.metrics_out.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics: %zu timeline samples written to %s\n",
+                cluster.ledger()->sample_count(), opt.metrics_out.c_str());
   }
   if (opt.check) {
     const auto result = cluster.check_history();
